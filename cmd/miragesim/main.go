@@ -1,0 +1,138 @@
+// Command miragesim runs one simulated Mirage scenario with explicit
+// parameters and prints protocol, scheduler, and network statistics —
+// the exploration tool behind the fixed sweeps in miragebench.
+//
+// Workloads:
+//
+//	pingpong — the §7.2 worst-case application (two sites)
+//	counters — the §8.0 representative application (two sites)
+//	readers  — one writer at the library plus N-1 polling readers
+//
+// Examples:
+//
+//	miragesim -workload pingpong -delta 33ms -dur 30s -yield=false
+//	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/refs.log
+//	miragesim -workload readers -sites 4 -delta 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/exp"
+	"mirage/internal/ipc"
+	"mirage/internal/stats"
+	"mirage/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("miragesim: ")
+	workload := flag.String("workload", "pingpong", "pingpong | counters | readers")
+	delta := flag.Duration("delta", 0, "time window Δ")
+	dur := flag.Duration("dur", 10*time.Second, "virtual run length")
+	sites := flag.Int("sites", 2, "number of sites (readers workload)")
+	yield := flag.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
+	policy := flag.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
+	tracePath := flag.String("trace", "", "write the library's reference log to this file")
+	flag.Parse()
+
+	var pol core.InvalPolicy
+	switch *policy {
+	case "retry":
+		pol = core.PolicyRetry
+	case "honor-close":
+		pol = core.PolicyHonorClose
+	case "queue":
+		pol = core.PolicyQueue
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	var recorder *trace.Log
+	opts := core.Options{Policy: pol}
+	if *tracePath != "" {
+		recorder = trace.NewLog()
+		opts.Tracer = recorder
+	}
+
+	n := 2
+	if *workload == "readers" {
+		n = *sites
+		if n < 2 {
+			log.Fatal("readers needs at least 2 sites")
+		}
+	}
+	c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts})
+
+	var headline string
+	switch *workload {
+	case "pingpong":
+		cycles := exp.RunPingPongForDebug(c, 0, 1, *yield, *dur)
+		headline = fmt.Sprintf("%.2f cycles/s (yield=%v)", float64(cycles)/dur.Seconds(), *yield)
+	case "counters":
+		insn := exp.RunCountersForDebug(c, *dur)
+		headline = fmt.Sprintf("%.0f read-write insn/s", insn)
+	case "readers":
+		headline = runReaders(c, *dur)
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	fmt.Printf("workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
+	fmt.Printf("result: %s\n\n", headline)
+
+	t := stats.NewTable("site", "rd-faults", "wr-faults", "pages tx/rx", "upgrades", "downgrades", "busies", "retries", "Δ-wait",
+		"cpu user", "cpu kernel", "dispatches")
+	for i := 0; i < c.Sites(); i++ {
+		es := c.Site(i).Eng.Stats()
+		cs := c.Site(i).CPU.Stats()
+		t.Row(i, es.ReadFaults, es.WriteFaults,
+			fmt.Sprintf("%d/%d", es.PagesSent, es.PagesReceived),
+			es.Upgrades, es.Downgrades, es.BusyReplies, es.Retries,
+			es.WindowWait.Round(time.Millisecond),
+			cs.UserBusy.Round(time.Millisecond), cs.KernelBusy.Round(time.Millisecond), cs.Dispatches)
+	}
+	t.WriteTo(os.Stdout)
+	ns := c.Net.Stats()
+	fmt.Printf("\nnetwork: %d msgs (%d large, %d short), %d bytes, %d loopback\n",
+		ns.Delivered, ns.LargeMsgs, ns.ShortMsgs, ns.Bytes, ns.Loopback)
+
+	if h := c.FaultLatency; h.Count() > 0 {
+		fmt.Printf("\nfault latency: %d faults, mean %v, p50 ≤%v, p99 ≤%v, max %v\n",
+			h.Count(), h.Mean().Round(100*time.Microsecond),
+			h.Quantile(0.5), h.Quantile(0.99), h.Max().Round(100*time.Microsecond))
+		h.WriteTo(os.Stdout)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := recorder.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reference log: %d entries -> %s (analyze with miragetrace)\n", recorder.Len(), *tracePath)
+	}
+}
+
+// runReaders spawns one writer colocated with the library and N-1
+// remote readers polling the same page.
+func runReaders(c *ipc.Cluster, dur time.Duration) string {
+	writes, reads := 0, 0
+	exp.SpawnSharedWriter(c, 0, dur, &writes)
+	for s := 1; s < c.Sites(); s++ {
+		exp.SpawnSharedReader(c, s, dur, &reads)
+	}
+	c.Run()
+	return fmt.Sprintf("%.1f writes/s at the writer, %.1f reads/s across %d readers",
+		float64(writes)/dur.Seconds(), float64(reads)/dur.Seconds(), c.Sites()-1)
+}

@@ -1,0 +1,76 @@
+// Command miragetrace analyzes a library-site reference log (§9.0):
+// per-page demand, inter-request intervals, migration advice (the
+// paper's envisioned "automatic process migration facility"), and
+// suggested per-page Δ values for the dynamic tuner.
+//
+// Produce a log with:
+//
+//	miragesim -workload counters -delta 0 -trace refs.log
+//	miragetrace refs.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mirage/internal/stats"
+	"mirage/internal/trace"
+	"mirage/internal/vaxmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("miragetrace: ")
+	top := flag.Int("top", 20, "show the hottest N pages")
+	threshold := flag.Float64("migrate-threshold", 0.75, "dominant-site share that triggers migration advice")
+	minReq := flag.Int("migrate-min", 10, "minimum requests before advising migration")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: miragetrace [flags] <reference-log>")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	l, err := trace.ReadLog(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d requests\n\n", l.Len())
+	if l.Len() == 0 {
+		return
+	}
+
+	transfer := vaxmodel.ReadRequestService + 2*vaxmodel.MsgSideElapsed(0) +
+		vaxmodel.ServerRequestService + 2*vaxmodel.MsgSideElapsed(1024) + vaxmodel.PageInstallService
+
+	heats := trace.Heat(l)
+	t := stats.NewTable("seg", "page", "requests", "reads", "writes", "sites", "mean gap", "dominant", "suggested Δ")
+	shown := 0
+	for _, h := range heats {
+		if shown >= *top {
+			break
+		}
+		shown++
+		t.Row(h.Key.Seg, h.Key.Page, h.Requests, h.Reads, h.Writes, h.Sites,
+			h.MeanGap.Round(time.Millisecond),
+			fmt.Sprintf("site %d (%.0f%%)", h.DominantSite, 100*h.DominantShare),
+			trace.SuggestDelta(h, transfer).Round(time.Millisecond))
+	}
+	t.WriteTo(os.Stdout)
+
+	adv := trace.AdviseMigration(l, *threshold, *minReq)
+	if len(adv) == 0 {
+		fmt.Println("\nno migration advice (no page dominated by a single remote site)")
+		return
+	}
+	fmt.Println("\nmigration advice:")
+	for _, a := range adv {
+		fmt.Printf("  seg %d page %d -> colocate with site %d (%s)\n", a.Key.Seg, a.Key.Page, a.Target, a.Reason)
+	}
+}

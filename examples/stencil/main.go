@@ -1,0 +1,187 @@
+// Stencil runs two classic DSM workloads on a live Mirage cluster:
+//
+//  1. A 1-D heat-diffusion kernel: each site owns one page-aligned
+//     block of cells and reads a halo cell from each neighbour every
+//     iteration — the bulk-synchronous pattern DSM handles well.
+//  2. The paper's §5.1 colocation hazard, directly: each site
+//     increments a private counter that is either packed next to the
+//     others on one page (false sharing: the page ping-pongs on every
+//     increment) or placed on its own page (one transfer each, total).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mirage"
+)
+
+const (
+	sites     = 3
+	cellsPer  = 128 // cells per site; 128 × 4 B = exactly one 512 B page
+	iterations = 12
+	cellBytes = 4
+	scale     = 1000 // fixed-point: value 1.0 == 1000
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Printf("stencil: %d sites × %d cells, %d iterations\n", sites, cellsPer, iterations)
+	moves, edge := run(0)
+	fmt.Printf("  %d page transfers, cell[4] -> %.3f\n\n", moves, float64(edge)/scale)
+
+	fmt.Println("false sharing (§5.1): per-site counters, 50 paced increments each")
+	packed := falseSharing(true)
+	spread := falseSharing(false)
+	fmt.Printf("  packed on one page : %4d page transfers\n", packed)
+	fmt.Printf("  one page per site  : %4d page transfers\n", spread)
+	fmt.Println("\nunrelated data colocated on a page makes every private write a")
+	fmt.Println("coherence event — the hazard §5.1 uses to motivate coherence at")
+	fmt.Println("the lowest level (and careful data placement).")
+}
+
+// falseSharing has each site hammer its own counter; only the byte
+// placement differs between the two configurations.
+func falseSharing(packed bool) (pageMoves int) {
+	c, err := mirage.NewCluster(sites, mirage.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	id, err := c.Site(0).Shmget(0x4653, sites*512, mirage.Create, 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sites; s++ {
+		seg, err := c.Site(s).Attach(id, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		off := s * 512 // own page
+		if packed {
+			off = s * 4 // all counters on page 0
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Paced like real work, so the sites genuinely interleave.
+			for i := 0; i < 50; i++ {
+				if _, err := seg.AddUint32(off, 1); err != nil {
+					log.Fatal(err)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for s := 0; s < sites; s++ {
+		total += c.Site(s).Stats().PagesSent
+	}
+	return total
+}
+
+// run executes the diffusion and returns total page transfers and the
+// final value of the first site's last cell.
+func run(misalign int) (pageMoves int, edgeCell uint32) {
+	c, err := mirage.NewCluster(sites, mirage.Options{Delta: 2 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Data segment: one page of slack for the misalignment, one page
+	// per site, plus a separate page of round stamps for the barrier.
+	dataBytes := misalign + sites*cellsPer*cellBytes
+	segSize := dataBytes + 512 // stamps page at the tail, page-aligned
+	stampBase := (dataBytes + 511) / 512 * 512
+	id, err := c.Site(0).Shmget(0x5745, segSize+512, mirage.Create, 0o600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var edge uint32
+	for s := 0; s < sites; s++ {
+		seg, err := c.Site(s).Attach(id, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := s
+		base := misalign + s*cellsPer*cellBytes
+		cellOff := func(i int) int { return base + i*cellBytes }
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Initialize own block: site 0 holds the heat source.
+			for i := 0; i < cellsPer; i++ {
+				v := uint32(0)
+				if s == 0 && i == 0 {
+					v = 100 * scale
+				}
+				must(seg.SetUint32(cellOff(i), v))
+			}
+			barrier(seg, stampBase, s, 0)
+
+			for it := 1; it <= iterations; it++ {
+				// In-place sweep: read both neighbours (halo cells come
+				// from the adjacent site's block), then update the cell.
+				// With misaligned blocks the first and last cells of a
+				// sweep live on a page another site is actively
+				// updating — false sharing on every iteration.
+				for i := 0; i < cellsPer; i++ {
+					gi := s*cellsPer + i // global index
+					l := uint32(0)
+					if gi > 0 {
+						l = get(seg, misalign+(gi-1)*cellBytes)
+					}
+					r := uint32(0)
+					if gi < sites*cellsPer-1 {
+						r = get(seg, misalign+(gi+1)*cellBytes)
+					}
+					v := get(seg, cellOff(i))
+					nv := (l + 2*v + r) / 4
+					if s == 0 && i == 0 {
+						nv = 100 * scale
+					}
+					must(seg.SetUint32(cellOff(i), nv))
+				}
+				barrier(seg, stampBase, s, uint32(it))
+			}
+			if s == 0 {
+				edge = get(seg, cellOff(4))
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for s := 0; s < sites; s++ {
+		total += c.Site(s).Stats().PagesSent
+	}
+	return total, edge
+}
+
+// barrier publishes this site's round stamp and waits for the others.
+func barrier(seg *mirage.Segment, base, site int, round uint32) {
+	must(seg.SetUint32(base+4*site, round+1))
+	for s := 0; s < sites; s++ {
+		for get(seg, base+4*s) < round+1 {
+			time.Sleep(500 * time.Microsecond)
+		}
+	}
+}
+
+func get(seg *mirage.Segment, off int) uint32 {
+	v, err := seg.Uint32(off)
+	must(err)
+	return v
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mirage
+
+go 1.22

@@ -1,0 +1,447 @@
+// Package core implements the Mirage distributed shared memory
+// protocol (paper §6): the library site that queues and sequentially
+// processes page requests, the clock site that holds each page's time
+// window Δ, invalidation with the two-attempt retry, and the two
+// traffic optimizations (silent reader→writer upgrade; writer→reader
+// downgrade retaining the read copy).
+//
+// One Engine runs per site and plays every role the site can have:
+// requester (faulting processes), holder (reader or writer of pages),
+// clock site, and — for segments the site created — library. Engines
+// are passive, deterministic state machines: they are driven entirely
+// through Fault, Deliver, and the segment lifecycle calls, and they
+// act on the world only through the Env interface. The same engine
+// therefore runs unchanged on the calibrated VAX/Ethernet simulator
+// (internal/netsim + internal/sched) and on real transports
+// (internal/transport) under the public mirage package.
+//
+// Engines are not safe for concurrent use; each driver serializes
+// calls (the simulator by construction, live nodes with an actor
+// loop).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mirage/internal/mem"
+	"mirage/internal/mmu"
+	"mirage/internal/trace"
+	"mirage/internal/vaxmodel"
+	"mirage/internal/wire"
+)
+
+// NetMsg is any protocol message a transport can carry; Size (the
+// payload bytes) drives the network cost model. Both the Mirage wire
+// messages and the IVY baseline's messages implement it.
+type NetMsg interface{ Size() int }
+
+// Env is the world an Engine acts through.
+type Env interface {
+	// Site returns this engine's site ID.
+	Site() int
+	// Now returns the current time (virtual in simulation, monotonic
+	// wall time live). Δ windows are measured in real time (§9.0).
+	Now() time.Duration
+	// After schedules fn after d; the returned function cancels.
+	After(d time.Duration, fn func()) (cancel func())
+	// Send transmits a protocol message to a site (possibly this one;
+	// loopback must deliver with no network charge).
+	Send(to int, m NetMsg)
+	// Exec runs fn after charging cost of CPU service time at this
+	// site. Live environments may ignore cost and run fn directly, but
+	// must still serialize all engine entry points.
+	Exec(cost time.Duration, fn func())
+}
+
+// InvalPolicy selects how an unexpired Δ window is handled when an
+// invalidation arrives at the clock site.
+type InvalPolicy int
+
+const (
+	// PolicyRetry is the paper prototype's behaviour: the clock site
+	// replies with the remaining time and the library retries after it
+	// (the "two attempts to invalidate a page" caveat of §7.1).
+	PolicyRetry InvalPolicy = iota
+	// PolicyHonorClose implements §7.1's recommendation: if less than
+	// HonorThreshold remains, the clock site delays locally and then
+	// honors the invalidation instead of forcing a retry.
+	PolicyHonorClose
+	// PolicyQueue is the "queued invalidation optimization" the paper
+	// notes its implementation lacks: the clock site always queues the
+	// invalidation and honors it exactly at window expiry.
+	PolicyQueue
+)
+
+func (p InvalPolicy) String() string {
+	switch p {
+	case PolicyRetry:
+		return "retry"
+	case PolicyHonorClose:
+		return "honor-close"
+	case PolicyQueue:
+		return "queue"
+	}
+	return fmt.Sprintf("InvalPolicy(%d)", int(p))
+}
+
+// Costs are the CPU service charges the engine pays through Env.Exec.
+type Costs struct {
+	Request    time.Duration // issue a remote page request (Table 3: 2.5 ms)
+	Server     time.Duration // library handling of one message (Table 3: 1.5 ms)
+	Install    time.Duration // install a received page (Table 3: 2 ms)
+	Input      time.Duration // other protocol input interrupts (§7.2: 1.5 ms)
+	LocalFault time.Duration // fault served by a colocated library (§7.2: 1.5 ms)
+}
+
+// DefaultCosts returns the paper-calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		Request:    vaxmodel.ReadRequestService,
+		Server:     vaxmodel.ServerRequestService,
+		Install:    vaxmodel.PageInstallService,
+		Input:      vaxmodel.InputInterruptService,
+		LocalFault: vaxmodel.LocalFaultService,
+	}
+}
+
+// TuneInfo is what a dynamic Δ tuner sees before the library forwards
+// an invalidation (§8.0: "the page's Δ value can be changed before it
+// is forwarded to the target site and installed").
+type TuneInfo struct {
+	Seg      int32
+	Page     int32
+	Delta    time.Duration // current per-page Δ
+	Write    bool          // the triggering request is a write
+	MeanGap  time.Duration // EWMA of the page's inter-request interval
+	Requests int           // requests seen for this page
+}
+
+// Options configure an Engine.
+type Options struct {
+	Policy         InvalPolicy
+	HonorThreshold time.Duration // for PolicyHonorClose; default vaxmodel.ShortRTT
+	Costs          *Costs        // nil means DefaultCosts
+	Tracer         trace.Recorder
+	// TuneDelta, if non-nil, may return a new Δ for a page each time
+	// the library is about to grant it. Mirage ships the routine
+	// disabled (nil), as the paper does.
+	TuneDelta func(TuneInfo) time.Duration
+	// SkipInsiderUpgradeCheck, when set, lets a new writer that is a
+	// member of the current read set upgrade without the Δ clock check
+	// (reading the window as protection from outside interruption
+	// only). The default is the paper's Table 1: the clock check
+	// applies to every Readers→Writer transition.
+	SkipInsiderUpgradeCheck bool
+}
+
+// Stats counts engine activity. All counters are cumulative.
+type Stats struct {
+	ReadFaults     int
+	WriteFaults    int
+	RequestsSent   int // read+write requests issued (incl. loopback)
+	PagesSent      int // KPageSend transmitted by this site
+	PagesReceived  int
+	Upgrades       int // in-place reader→writer grants received
+	Downgrades     int // writer→reader transitions at this site
+	InvalsReceived int // KInval handled as clock site
+	InvalOrders    int // KInvalOrder received (copy discarded)
+	BusyReplies    int // KBusy sent (window unexpired, PolicyRetry)
+	Retries        int // invalidations re-sent by the library
+	Already        int // requests found already satisfied
+	WindowWait     time.Duration // total time invalidations waited on Δ
+	Dropped        int // messages for unknown segments (post-destroy stragglers)
+}
+
+type pageKey struct {
+	seg  int32
+	page int32
+}
+
+// waiter is a blocked fault continuation.
+type waiter struct {
+	write bool
+	wake  func()
+}
+
+// segNode is per-site state for one attached segment.
+type segNode struct {
+	meta *mem.Segment
+	m    *mmu.Seg
+
+	waiters map[int32][]waiter // page -> blocked faults
+	outR    map[int32]bool     // read request outstanding
+	outW    map[int32]bool     // write request outstanding
+
+	lib *libSeg // non-nil at the library site
+
+	// releasing is set between the last local detach and the library's
+	// confirmation of every page release; local accesses fault
+	// meanwhile.
+	releasing       bool
+	releasesPending int
+}
+
+// Engine is one site's Mirage protocol instance.
+type Engine struct {
+	env   Env
+	opt   Options
+	costs Costs
+	site  int
+	segs  map[int32]*segNode
+	pend  map[pageKey]*pendingInval // clock-side invalidation collections
+	stats Stats
+}
+
+// New creates an engine for env's site.
+func New(env Env, opt Options) *Engine {
+	if opt.HonorThreshold == 0 {
+		opt.HonorThreshold = vaxmodel.ShortRTT
+	}
+	costs := DefaultCosts()
+	if opt.Costs != nil {
+		costs = *opt.Costs
+	}
+	return &Engine{
+		env:   env,
+		opt:   opt,
+		costs: costs,
+		site:  env.Site(),
+		segs:  make(map[int32]*segNode),
+		pend:  make(map[pageKey]*pendingInval),
+	}
+}
+
+// Site returns the engine's site ID.
+func (e *Engine) Site() int { return e.site }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// CreateSegment initializes protocol state for a segment created at
+// this site, which becomes its library site (§6.0). All pages start
+// resident and writable here with an expired window.
+func (e *Engine) CreateSegment(meta *mem.Segment) {
+	if meta.Library != e.site {
+		panic(fmt.Sprintf("core: CreateSegment at site %d for library %d", e.site, meta.Library))
+	}
+	sn := e.register(meta)
+	now := e.env.Now()
+	lib := newLibSeg(meta)
+	sn.lib = lib
+	for p := 0; p < meta.Pages; p++ {
+		sn.m.Install(p, nil, mmu.ReadWrite, now)
+		a := sn.m.Aux(p)
+		a.Writer = e.site
+		a.Window = 0 // the creator's initial hold is not a granted window
+		lib.pages[p].writer = e.site
+		lib.pages[p].clock = e.site
+	}
+}
+
+// AttachSegment initializes protocol state for a segment attached at
+// this (non-library) site: an empty page table that will fill on
+// demand. Attaching twice is a no-op.
+func (e *Engine) AttachSegment(meta *mem.Segment) {
+	e.register(meta)
+}
+
+func (e *Engine) register(meta *mem.Segment) *segNode {
+	if sn, ok := e.segs[int32(meta.ID)]; ok {
+		return sn
+	}
+	sn := &segNode{
+		meta:    meta,
+		m:       mmu.NewSeg(meta.Pages, meta.PageSize),
+		waiters: make(map[int32][]waiter),
+		outR:    make(map[int32]bool),
+		outW:    make(map[int32]bool),
+	}
+	e.segs[int32(meta.ID)] = sn
+	return sn
+}
+
+// DestroySegment drops all local state for a segment (control plane:
+// called on every site when the last detach destroys the segment).
+// Pending waiters are woken so their access loops can observe the
+// destruction.
+func (e *Engine) DestroySegment(id int32) {
+	sn, ok := e.segs[id]
+	if !ok {
+		return
+	}
+	delete(e.segs, id)
+	for p, ws := range sn.waiters {
+		for _, w := range ws {
+			w.wake()
+		}
+		delete(sn.waiters, p)
+	}
+	for k := range e.pend {
+		if k.seg == id {
+			delete(e.pend, k)
+		}
+	}
+}
+
+// Seg returns the site's MMU state for a segment (nil if not attached
+// here). The ipc access layer uses it for protection checks and the
+// data path.
+func (e *Engine) Seg(id int32) *mmu.Seg {
+	sn, ok := e.segs[id]
+	if !ok {
+		return nil
+	}
+	return sn.m
+}
+
+// MappedPages reports how many pages of all attached segments are
+// present at this site; the scheduler charges lazy remap for them.
+func (e *Engine) MappedPages() int {
+	n := 0
+	for _, sn := range e.segs {
+		n += sn.m.PresentCount()
+	}
+	return n
+}
+
+// Attached reports whether the segment is known at this site.
+func (e *Engine) Attached(id int32) bool {
+	_, ok := e.segs[id]
+	return ok
+}
+
+// Fault reports a page fault by a local process: the process (pid)
+// needs page of seg with (write) access; wake is called — possibly
+// multiple faults later — whenever the page's local state changed so
+// the caller can recheck. The caller blocks after Fault and loops:
+// check, fault, block (the hardware retries the faulting instruction,
+// §6.1).
+func (e *Engine) Fault(seg int32, page int32, write bool, pid int32, wake func()) {
+	sn, ok := e.segs[seg]
+	if !ok {
+		// Destroyed or never attached: let the caller recheck and fail.
+		e.env.Exec(0, wake)
+		return
+	}
+	if write {
+		e.stats.WriteFaults++
+	} else {
+		e.stats.ReadFaults++
+	}
+	sn.waiters[page] = append(sn.waiters[page], waiter{write: write, wake: wake})
+
+	needReq := false
+	var kind wire.Kind
+	if write {
+		if !sn.outW[page] {
+			sn.outW[page] = true
+			needReq = true
+			kind = wire.KWriteReq
+		}
+	} else {
+		// A pending write request will satisfy a read fault too.
+		if !sn.outR[page] && !sn.outW[page] {
+			sn.outR[page] = true
+			needReq = true
+			kind = wire.KReadReq
+		}
+	}
+	if !needReq {
+		return
+	}
+	e.stats.RequestsSent++
+	cost := e.costs.Request
+	if sn.meta.Library == e.site {
+		cost = e.costs.LocalFault
+	}
+	m := &wire.Msg{
+		Kind: kind,
+		Seg:  seg,
+		Page: page,
+		From: int32(e.site),
+		Req:  int32(e.site),
+		Pid:  pid,
+	}
+	lib := sn.meta.Library
+	e.env.Exec(cost, func() { e.env.Send(lib, m) })
+}
+
+// wakeWaiters wakes every blocked fault on a page; each rechecks its
+// access and refaults if still unsatisfied.
+func (e *Engine) wakeWaiters(sn *segNode, page int32) {
+	ws := sn.waiters[page]
+	if len(ws) == 0 {
+		return
+	}
+	delete(sn.waiters, page)
+	for _, w := range ws {
+		w.wake()
+	}
+}
+
+// Deliver injects a received protocol message (a *wire.Msg; the
+// parameter is any so engines with different message sets satisfy a
+// common transport interface). Transports call it for every message
+// addressed to this site; the engine charges the appropriate service
+// cost and then handles it. Loopback messages (From == this site) cost
+// nothing: their work is part of the service that produced them, which
+// is why colocating requester and library wins (§7.3).
+func (e *Engine) Deliver(payload any) {
+	m := payload.(*wire.Msg)
+	cost := time.Duration(0)
+	if int(m.From) != e.site {
+		switch m.Kind {
+		case wire.KReadReq, wire.KWriteReq, wire.KInstalled, wire.KBusy,
+			wire.KReleaseRead, wire.KReleaseWrite:
+			cost = e.costs.Server
+		case wire.KPageSend:
+			cost = e.costs.Install
+		default:
+			cost = e.costs.Input
+		}
+	}
+	e.env.Exec(cost, func() { e.handle(m) })
+}
+
+func (e *Engine) handle(m *wire.Msg) {
+	sn, ok := e.segs[m.Seg]
+	if !ok {
+		e.stats.Dropped++
+		return
+	}
+	switch m.Kind {
+	case wire.KReadReq, wire.KWriteReq, wire.KReleaseRead, wire.KReleaseWrite,
+		wire.KInstalled, wire.KBusy:
+		e.handleLibrary(sn, m)
+	case wire.KAddReader:
+		e.handleAddReader(sn, m)
+	case wire.KInval:
+		e.handleInval(sn, m)
+	case wire.KInvalOrder:
+		e.handleInvalOrder(sn, m)
+	case wire.KInvalAck:
+		e.handleInvalAck(sn, m)
+	case wire.KPageSend:
+		e.handlePageSend(sn, m)
+	case wire.KUpgradeGrant:
+		e.handleUpgradeGrant(sn, m)
+	case wire.KAlready:
+		e.handleAlready(sn, m)
+	case wire.KClockHandoff:
+		sn.m.Aux(int(m.Page)).ReaderMask = mmu.SiteMask(m.Readers)
+	case wire.KReleaseDone:
+		e.handleReleaseDone(sn, m)
+	default:
+		panic(fmt.Sprintf("core: site %d: unhandled %v", e.site, m))
+	}
+}
+
+// send is a small helper stamping the From field.
+func (e *Engine) send(to int, m *wire.Msg) {
+	m.From = int32(e.site)
+	e.env.Send(to, m)
+}

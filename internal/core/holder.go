@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mirage/internal/mmu"
+	"mirage/internal/wire"
+)
+
+// pendingInval is clock-site transient state while other readers'
+// copies are being collected for a write grant.
+type pendingInval struct {
+	m        *wire.Msg // the KInval being honored
+	needAcks int
+	data     []byte // page contents captured for the new writer
+}
+
+// CheckAccess classifies a local access for the ipc layer. Pages of a
+// segment being released (detached) always fault so a racing re-attach
+// refetches fresh copies through the library.
+func (e *Engine) CheckAccess(seg, page int32, write bool) mmu.FaultType {
+	sn, ok := e.segs[seg]
+	if !ok || sn.releasing {
+		if write {
+			return mmu.WriteFault
+		}
+		return mmu.ReadFault
+	}
+	return sn.m.Check(int(page), write)
+}
+
+// Frame exposes the local frame for the data path after a successful
+// CheckAccess. It returns nil for absent pages.
+func (e *Engine) Frame(seg, page int32) []byte {
+	sn, ok := e.segs[seg]
+	if !ok {
+		return nil
+	}
+	return sn.m.Frame(int(page))
+}
+
+// handleAddReader runs at the clock site for the Readers/Readers row
+// of Table 1: no clock check, no invalidation — note the new readers
+// and ship them copies directly.
+func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
+	p := int(m.Page)
+	if !sn.m.Present(p) {
+		panic(fmt.Sprintf("core: site %d: add-reader for absent page: %v", e.site, m))
+	}
+	a := sn.m.Aux(p)
+	a.ReaderMask |= mmu.SiteMask(m.Readers)
+	data := sn.m.Frame(p)
+	mmu.SiteMask(m.Readers).ForEach(func(s int) {
+		e.stats.PagesSent++
+		e.send(s, &wire.Msg{
+			Kind:  wire.KPageSend,
+			Mode:  wire.Read,
+			Seg:   m.Seg,
+			Page:  m.Page,
+			Delta: m.Delta,
+			Data:  append([]byte(nil), data...),
+		})
+	})
+}
+
+// handleInval runs at the clock site: the Δ check (Table 1), then the
+// invalidation cycle of §6.1 — invalidate the local page, invalidate
+// any other outstanding readers, and distribute the page to the new
+// writer or new readers.
+func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
+	e.stats.InvalsReceived++
+	p := int(m.Page)
+	if !sn.m.Present(p) {
+		panic(fmt.Sprintf("core: site %d: inval for absent page: %v", e.site, m))
+	}
+	now := e.env.Now()
+	insider := m.Mode == wire.Write && m.Upgrade && e.opt.SkipInsiderUpgradeCheck
+	if rem := sn.m.WindowRemaining(p, now); rem > 0 && !insider {
+		// The window has not expired: §6.1 "the clock site replies
+		// immediately with the amount of time the library must wait".
+		switch e.opt.Policy {
+		case PolicyRetry:
+			e.stats.BusyReplies++
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem,
+			})
+			return
+		case PolicyHonorClose:
+			if rem > e.opt.HonorThreshold {
+				e.stats.BusyReplies++
+				e.send(int(sn.meta.Library), &wire.Msg{
+					Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem,
+				})
+				return
+			}
+			fallthrough
+		case PolicyQueue:
+			e.stats.WindowWait += rem
+			e.env.After(rem, func() {
+				// Segment may have been destroyed while we waited.
+				if cur, ok := e.segs[m.Seg]; ok && cur == sn {
+					e.acceptInval(sn, m)
+				}
+			})
+			return
+		}
+	}
+	e.acceptInval(sn, m)
+}
+
+// acceptInval performs the clock site's actions once the window allows.
+func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
+	p := int(m.Page)
+	now := e.env.Now()
+	a := sn.m.Aux(p)
+
+	if m.Mode == wire.Read {
+		// Table 1 row Writer/Readers: downgrade the writer to reader
+		// (optimization 2: it retains its read copy) and distribute
+		// copies to the new readers. The clock site stays here.
+		if sn.m.Prot(p) != mmu.ReadWrite {
+			panic(fmt.Sprintf("core: site %d: downgrade of non-writable page: %v", e.site, m))
+		}
+		sn.m.Downgrade(p, now)
+		e.stats.Downgrades++
+		a.Writer = mmu.NoWriter
+		a.Window = m.Delta
+		a.ReaderMask = mmu.MaskOf(e.site) | mmu.SiteMask(m.Readers)
+		data := sn.m.Frame(p)
+		mmu.SiteMask(m.Readers).ForEach(func(s int) {
+			e.stats.PagesSent++
+			e.send(s, &wire.Msg{
+				Kind:  wire.KPageSend,
+				Mode:  wire.Read,
+				Seg:   m.Seg,
+				Page:  m.Page,
+				Delta: m.Delta,
+				Data:  append([]byte(nil), data...),
+			})
+		})
+		return
+	}
+
+	// Write grant: rows Readers/Writer and Writer/Writer. Collect every
+	// readable copy except the new writer's own (upgrade), then grant.
+	targets := a.ReaderMask.Remove(e.site).Remove(int(m.Req))
+	var data []byte
+	if int(m.Req) == e.site && m.Upgrade {
+		// We are both clock site and upgrading requester: keep our copy.
+	} else {
+		old := sn.m.Invalidate(p)
+		if !m.Upgrade {
+			data = old
+		}
+	}
+	a.ReaderMask = 0
+	a.Writer = mmu.NoWriter
+
+	if targets.Empty() {
+		e.finishWriteGrant(sn, m, data)
+		return
+	}
+	e.pend[pageKey{m.Seg, m.Page}] = &pendingInval{m: m, needAcks: targets.Count(), data: data}
+	targets.ForEach(func(s int) {
+		e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page})
+	})
+}
+
+// finishWriteGrant runs at the clock site once no readable copy
+// remains anywhere except (for an upgrade) the new writer's.
+func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
+	req := int(m.Req)
+	if m.Upgrade {
+		if req == e.site {
+			// Clock site upgrading itself: flip the protection in place
+			// and notify the library directly.
+			now := e.env.Now()
+			sn.m.Upgrade(int(m.Page), now)
+			a := sn.m.Aux(int(m.Page))
+			a.Writer = e.site
+			a.Window = m.Delta
+			e.stats.Upgrades++
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+			})
+			e.wakeWaiters(sn, m.Page)
+			sn.outW[m.Page] = false
+			sn.outR[m.Page] = false
+			return
+		}
+		// Optimization 1: no page copy; a notification acknowledges the
+		// write request.
+		e.send(req, &wire.Msg{
+			Kind: wire.KUpgradeGrant, Seg: m.Seg, Page: m.Page, Delta: m.Delta,
+		})
+		return
+	}
+	if data == nil {
+		panic(fmt.Sprintf("core: site %d: write grant with no page data: %v", e.site, m))
+	}
+	e.stats.PagesSent++
+	e.send(req, &wire.Msg{
+		Kind:  wire.KPageSend,
+		Mode:  wire.Write,
+		Seg:   m.Seg,
+		Page:  m.Page,
+		Delta: m.Delta,
+		Data:  data,
+	})
+}
+
+// handleInvalOrder runs at a reader told to discard its copy.
+func (e *Engine) handleInvalOrder(sn *segNode, m *wire.Msg) {
+	e.stats.InvalOrders++
+	p := int(m.Page)
+	if sn.m.Present(p) {
+		sn.m.Invalidate(p)
+		a := sn.m.Aux(p)
+		a.ReaderMask = 0
+		a.Writer = mmu.NoWriter
+	}
+	e.send(int(m.From), &wire.Msg{Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page})
+}
+
+// handleInvalAck collects discard confirmations at the clock site.
+func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
+	k := pageKey{m.Seg, m.Page}
+	pi, ok := e.pend[k]
+	if !ok {
+		panic(fmt.Sprintf("core: site %d: unexpected inval-ack: %v", e.site, m))
+	}
+	pi.needAcks--
+	if pi.needAcks > 0 {
+		return
+	}
+	delete(e.pend, k)
+	e.finishWriteGrant(sn, pi.m, pi.data)
+}
+
+// handlePageSend installs a received page at the requester and
+// completes its share of the grant cycle.
+func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
+	e.stats.PagesReceived++
+	p := int(m.Page)
+	now := e.env.Now()
+	prot := mmu.ReadOnly
+	if m.Mode == wire.Write {
+		prot = mmu.ReadWrite
+	}
+	if sn.m.Present(p) {
+		// A stale copy can exist if a read grant raced a later write
+		// request from this site; the incoming page is authoritative.
+		sn.m.Invalidate(p)
+	}
+	sn.m.Install(p, m.Data, prot, now)
+	a := sn.m.Aux(p)
+	a.Window = m.Delta
+	if m.Mode == wire.Write {
+		a.Writer = e.site
+		a.ReaderMask = 0
+	} else {
+		a.Writer = mmu.NoWriter
+	}
+	e.send(int(sn.meta.Library), &wire.Msg{
+		Kind: wire.KInstalled, Mode: m.Mode, Seg: m.Seg, Page: m.Page,
+	})
+	if m.Mode == wire.Write {
+		sn.outW[m.Page] = false
+		sn.outR[m.Page] = false
+	} else {
+		sn.outR[m.Page] = false
+	}
+	e.wakeWaiters(sn, m.Page)
+}
+
+// handleUpgradeGrant flips a read copy to writable in place
+// (optimization 1) at the requester.
+func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
+	p := int(m.Page)
+	if sn.m.Prot(p) != mmu.ReadOnly {
+		panic(fmt.Sprintf("core: site %d: upgrade grant for %v page: %v", e.site, sn.m.Prot(p), m))
+	}
+	now := e.env.Now()
+	sn.m.Upgrade(p, now)
+	a := sn.m.Aux(p)
+	a.Writer = e.site
+	a.Window = m.Delta
+	a.ReaderMask = 0
+	e.stats.Upgrades++
+	e.send(int(sn.meta.Library), &wire.Msg{
+		Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+	})
+	sn.outW[m.Page] = false
+	sn.outR[m.Page] = false
+	e.wakeWaiters(sn, m.Page)
+}
+
+// handleAlready clears the satisfied request and lets waiters recheck.
+func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
+	e.stats.Already++
+	if m.Mode == wire.Write {
+		sn.outW[m.Page] = false
+	} else {
+		sn.outR[m.Page] = false
+	}
+	e.wakeWaiters(sn, m.Page)
+}
+
+// windowRemainingForTest exposes Δ accounting to package tests.
+func (e *Engine) windowRemainingForTest(seg, page int32) time.Duration {
+	sn := e.segs[seg]
+	return sn.m.WindowRemaining(int(page), e.env.Now())
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mirage/internal/mem"
+	"mirage/internal/mmu"
+	"mirage/internal/trace"
+	"mirage/internal/wire"
+)
+
+// reqKind discriminates entries in a library page queue.
+type reqKind int
+
+const (
+	reqRead reqKind = iota
+	reqWrite
+	reqReleaseRead
+	reqReleaseWrite
+)
+
+// libReq is one queued request at the library.
+type libReq struct {
+	kind reqKind
+	site int
+	pid  int32
+	data []byte // release payload
+	at   time.Duration
+}
+
+// grantCycle describes the in-flight grant for a page.
+type grantCycle struct {
+	active   bool
+	write    bool
+	to       int          // new writer (write grants)
+	batch    mmu.SiteMask // new readers (read grants)
+	oldWrite bool         // a writer was downgraded by this read grant
+	oldClock int
+	inval    *wire.Msg // retained for Δ retries
+	attempts int
+}
+
+// libPage is the library's authoritative record for one page (§6.0:
+// "record which sites are storing a given page", distinguishing
+// writers from readers).
+type libPage struct {
+	readers mmu.SiteMask
+	writer  int // mmu.NoWriter if none
+	clock   int
+	delta   time.Duration
+
+	queue           []libReq
+	busy            bool
+	pendingInstalls int
+	grant           grantCycle
+	cancelRetry     func()
+
+	// Demand statistics feeding the dynamic Δ tuner and the trace
+	// analyses.
+	requests int
+	lastReq  time.Duration
+	gapEWMA  time.Duration
+}
+
+// libSeg is the library-site state for one segment.
+type libSeg struct {
+	meta  *mem.Segment
+	pages []libPage
+}
+
+func newLibSeg(meta *mem.Segment) *libSeg {
+	l := &libSeg{meta: meta, pages: make([]libPage, meta.Pages)}
+	for i := range l.pages {
+		l.pages[i].writer = mmu.NoWriter
+		l.pages[i].clock = meta.Library
+		l.pages[i].delta = meta.Delta
+	}
+	return l
+}
+
+// LibraryPageState is a read-only snapshot for tests and diagnostics.
+type LibraryPageState struct {
+	Readers mmu.SiteMask
+	Writer  int
+	Clock   int
+	Delta   time.Duration
+	Queued  int
+	Busy    bool
+}
+
+// LibraryState returns the library's view of a page. It panics when
+// called at a non-library site: that is a test bug.
+func (e *Engine) LibraryState(seg, page int32) LibraryPageState {
+	sn := e.segs[seg]
+	if sn == nil || sn.lib == nil {
+		panic(fmt.Sprintf("core: LibraryState at non-library site %d", e.site))
+	}
+	p := &sn.lib.pages[page]
+	return LibraryPageState{
+		Readers: p.readers, Writer: p.writer, Clock: p.clock,
+		Delta: p.delta, Queued: len(p.queue), Busy: p.busy,
+	}
+}
+
+// SetPageDelta changes one page's Δ at the library (§8.0: "per-page
+// Δs may be useful"). It takes effect on the next grant.
+func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) {
+	sn := e.segs[seg]
+	if sn == nil || sn.lib == nil {
+		panic(fmt.Sprintf("core: SetPageDelta at non-library site %d", e.site))
+	}
+	sn.lib.pages[page].delta = delta
+}
+
+// SetSegmentDelta changes Δ for every page of the segment.
+func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) {
+	sn := e.segs[seg]
+	if sn == nil || sn.lib == nil {
+		panic(fmt.Sprintf("core: SetSegmentDelta at non-library site %d", e.site))
+	}
+	for i := range sn.lib.pages {
+		sn.lib.pages[i].delta = delta
+	}
+	sn.meta.Delta = delta
+}
+
+// handleLibrary dispatches messages addressed to the library role.
+func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
+	if sn.lib == nil {
+		panic(fmt.Sprintf("core: site %d is not the library for: %v", e.site, m))
+	}
+	lib := sn.lib
+	p := &lib.pages[m.Page]
+	switch m.Kind {
+	case wire.KReadReq, wire.KWriteReq:
+		now := e.env.Now()
+		write := m.Kind == wire.KWriteReq
+		if e.opt.Tracer != nil {
+			e.opt.Tracer.Record(trace.Entry{
+				T: now, Seg: m.Seg, Page: m.Page, Site: m.From, Pid: m.Pid, Write: write,
+			})
+		}
+		if p.requests > 0 {
+			gap := now - p.lastReq
+			if p.gapEWMA == 0 {
+				p.gapEWMA = gap
+			} else {
+				p.gapEWMA = (3*p.gapEWMA + gap) / 4
+			}
+		}
+		p.requests++
+		p.lastReq = now
+		kind := reqRead
+		if write {
+			kind = reqWrite
+		}
+		p.queue = append(p.queue, libReq{kind: kind, site: int(m.From), pid: m.Pid, at: now})
+		e.libProcess(sn, m.Page)
+
+	case wire.KReleaseRead, wire.KReleaseWrite:
+		kind := reqReleaseRead
+		if m.Kind == wire.KReleaseWrite {
+			kind = reqReleaseWrite
+		}
+		p.queue = append(p.queue, libReq{
+			kind: kind, site: int(m.From), at: e.env.Now(),
+			data: append([]byte(nil), m.Data...),
+		})
+		e.libProcess(sn, m.Page)
+
+	case wire.KInstalled:
+		if !p.busy || p.pendingInstalls <= 0 {
+			panic(fmt.Sprintf("core: site %d: unexpected installed: %v", e.site, m))
+		}
+		p.pendingInstalls--
+		if p.pendingInstalls == 0 {
+			e.libFinishCycle(sn, m.Page)
+			e.libProcess(sn, m.Page)
+		}
+
+	case wire.KBusy:
+		if !p.busy || !p.grant.active {
+			panic(fmt.Sprintf("core: site %d: busy with no cycle: %v", e.site, m))
+		}
+		e.stats.Retries++
+		e.stats.WindowWait += m.Remaining
+		inval := p.grant.inval
+		p.cancelRetry = e.env.After(m.Remaining, func() {
+			// Guards for live mode, where a cancelled timer may already
+			// have been queued: only retry the still-open cycle.
+			if cur, ok := e.segs[m.Seg]; !ok || cur != sn {
+				return
+			}
+			if !p.busy || !p.grant.active || p.grant.inval != inval {
+				return
+			}
+			p.cancelRetry = nil
+			p.grant.attempts++
+			e.send(p.clock, inval)
+		})
+
+	default:
+		panic(fmt.Sprintf("core: handleLibrary: %v", m))
+	}
+}
+
+// libProcess drains a page's queue: it starts grant cycles until one
+// is in flight or the queue is empty. Write requests are processed
+// sequentially; all queued read requests are batched and granted
+// together (§6.1).
+func (e *Engine) libProcess(sn *segNode, page int32) {
+	lib := sn.lib
+	p := &lib.pages[page]
+	for !p.busy && len(p.queue) > 0 {
+		head := p.queue[0]
+		switch head.kind {
+		case reqRead:
+			batch := e.libCollectReads(sn, page)
+			if batch.Empty() {
+				continue
+			}
+			e.libStartReadCycle(sn, page, batch)
+		case reqWrite:
+			p.queue = p.queue[1:]
+			if head.site == p.writer {
+				e.libAlready(sn, page, head.site, wire.Write)
+				continue
+			}
+			e.libStartWriteCycle(sn, page, head.site)
+		case reqReleaseRead, reqReleaseWrite:
+			p.queue = p.queue[1:]
+			e.libProcessRelease(sn, page, head)
+		}
+	}
+}
+
+// libCollectReads removes every read request from the queue, replies
+// KAlready to already-satisfied ones, and returns the batch to grant
+// together (§6.1: "Read requests for the same page are batched
+// together and granted to all the readers at one time").
+func (e *Engine) libCollectReads(sn *segNode, page int32) mmu.SiteMask {
+	p := &sn.lib.pages[page]
+	var batch mmu.SiteMask
+	var rest []libReq
+	for _, r := range p.queue {
+		if r.kind != reqRead {
+			rest = append(rest, r)
+			continue
+		}
+		if batch.Has(r.site) {
+			continue // duplicate; one grant covers it
+		}
+		if p.readers.Has(r.site) || r.site == p.writer {
+			e.libAlready(sn, page, r.site, wire.Read)
+			continue
+		}
+		batch = batch.Add(r.site)
+	}
+	p.queue = rest
+	return batch
+}
+
+// libAlready tells a requester its request is already satisfied.
+func (e *Engine) libAlready(sn *segNode, page int32, site int, mode wire.Mode) {
+	e.send(site, &wire.Msg{Kind: wire.KAlready, Mode: mode, Seg: int32(sn.meta.ID), Page: page})
+}
+
+// libTunedDelta applies the dynamic tuner (if any) and returns the Δ
+// to grant with.
+func (e *Engine) libTunedDelta(sn *segNode, page int32, write bool) time.Duration {
+	p := &sn.lib.pages[page]
+	if e.opt.TuneDelta != nil {
+		p.delta = e.opt.TuneDelta(TuneInfo{
+			Seg:      int32(sn.meta.ID),
+			Page:     page,
+			Delta:    p.delta,
+			Write:    write,
+			MeanGap:  p.gapEWMA,
+			Requests: p.requests,
+		})
+	}
+	return p.delta
+}
+
+// libStartReadCycle grants a batch of readers (Table 1 rows
+// Readers/Readers and Writer/Readers).
+func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) {
+	p := &sn.lib.pages[page]
+	delta := e.libTunedDelta(sn, page, false)
+	p.busy = true
+	p.pendingInstalls = batch.Count()
+	if p.writer != mmu.NoWriter {
+		// Downgrade the writer; it becomes (and stays) the clock site.
+		p.grant = grantCycle{
+			active: true, batch: batch, oldWrite: true, oldClock: p.writer,
+			inval: &wire.Msg{
+				Kind: wire.KInval, Mode: wire.Read, Seg: int32(sn.meta.ID), Page: page,
+				Readers: uint64(batch), Delta: delta,
+			},
+		}
+		e.send(p.writer, p.grant.inval)
+		return
+	}
+	// Pure reader extension: no clock check, no invalidation.
+	p.grant = grantCycle{active: true, batch: batch, oldClock: p.clock}
+	e.send(p.clock, &wire.Msg{
+		Kind: wire.KAddReader, Seg: int32(sn.meta.ID), Page: page,
+		Readers: uint64(batch), Delta: delta,
+	})
+}
+
+// libStartWriteCycle grants the writable copy to site `to` (Table 1
+// rows Readers/Writer and Writer/Writer).
+func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
+	p := &sn.lib.pages[page]
+	delta := e.libTunedDelta(sn, page, true)
+	upgrade := p.readers.Has(to)
+	p.busy = true
+	p.pendingInstalls = 1
+	p.grant = grantCycle{
+		active: true, write: true, to: to,
+		inval: &wire.Msg{
+			Kind: wire.KInval, Mode: wire.Write, Seg: int32(sn.meta.ID), Page: page,
+			Req: int32(to), Upgrade: upgrade, Readers: uint64(p.readers), Delta: delta,
+		},
+	}
+	e.send(p.clock, p.grant.inval)
+}
+
+// libFinishCycle commits the completed grant to the authoritative
+// record and releases the page for the next queued request.
+func (e *Engine) libFinishCycle(sn *segNode, page int32) {
+	p := &sn.lib.pages[page]
+	g := p.grant
+	if !g.active {
+		panic("core: finishing inactive cycle")
+	}
+	if g.write {
+		p.writer = g.to
+		p.readers = 0
+		p.clock = g.to
+	} else if g.oldWrite {
+		p.readers = mmu.MaskOf(g.oldClock) | g.batch
+		p.writer = mmu.NoWriter
+		p.clock = g.oldClock
+	} else {
+		p.readers |= g.batch
+	}
+	p.busy = false
+	p.grant = grantCycle{}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"mirage/internal/mmu"
+	"mirage/internal/wire"
+)
+
+// ReleaseSegment returns this site's page copies to the library when
+// the last local process detaches the segment. The site keeps serving
+// protocol traffic for pages it still holds until the library confirms
+// each release (the release is queued behind any grant cycles already
+// targeting this site as a holder); local accesses fault for the
+// duration so a racing re-attach refetches coherent copies.
+//
+// At the library site itself this is a no-op: the library is the
+// segment's home.
+func (e *Engine) ReleaseSegment(seg int32) {
+	sn, ok := e.segs[seg]
+	if !ok {
+		return
+	}
+	if sn.meta.Library == e.site {
+		return
+	}
+	sn.releasing = true
+	for p := 0; p < sn.m.Pages(); p++ {
+		if !sn.m.Present(p) {
+			continue
+		}
+		sn.releasesPending++
+		kind := wire.KReleaseRead
+		if sn.m.Prot(p) == mmu.ReadWrite {
+			kind = wire.KReleaseWrite
+		}
+		// Read copies carry data too: if this site turns out to be the
+		// last holder, the library reinstalls from it.
+		e.send(int(sn.meta.Library), &wire.Msg{
+			Kind: kind, Seg: seg, Page: int32(p),
+			Data: append([]byte(nil), sn.m.Frame(p)...),
+		})
+	}
+	if sn.releasesPending == 0 {
+		sn.releasing = false
+	}
+}
+
+// Releasing reports whether the segment is mid-release at this site.
+func (e *Engine) Releasing(seg int32) bool {
+	sn, ok := e.segs[seg]
+	return ok && sn.releasing
+}
+
+// libProcessRelease runs at the library when a queued release reaches
+// the head of a page's queue (never while a grant cycle is in flight).
+func (e *Engine) libProcessRelease(sn *segNode, page int32, r libReq) {
+	p := &sn.lib.pages[page]
+	switch {
+	case r.site == p.writer:
+		// The writer hands its (only) copy home: the library becomes
+		// writer and clock site again.
+		e.libReclaim(sn, page, r.data)
+	case p.readers.Has(r.site):
+		p.readers = p.readers.Remove(r.site)
+		if p.readers.Empty() && p.writer == mmu.NoWriter {
+			// Last copy anywhere: reinstall at the library. With no
+			// writer outstanding every read copy is current.
+			e.libReclaim(sn, page, r.data)
+		} else if p.clock == r.site {
+			// Hand the clock role to a remaining reader, preferring
+			// the library itself.
+			nc := e.site
+			if !p.readers.Has(e.site) {
+				nc = p.readers.Sites()[0]
+			}
+			p.clock = nc
+			e.send(nc, &wire.Msg{
+				Kind: wire.KClockHandoff, Seg: int32(sn.meta.ID), Page: page,
+				Readers: uint64(p.readers),
+			})
+		}
+	default:
+		// Stale: an intervening cycle already removed this holder.
+	}
+	e.send(r.site, &wire.Msg{Kind: wire.KReleaseDone, Seg: int32(sn.meta.ID), Page: page})
+}
+
+// libReclaim reinstalls a returned page at the library site.
+func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
+	p := &sn.lib.pages[page]
+	now := e.env.Now()
+	if sn.m.Present(int(page)) {
+		sn.m.Invalidate(int(page))
+	}
+	if data == nil {
+		panic(fmt.Sprintf("core: site %d: reclaim of page %d with no data", e.site, page))
+	}
+	sn.m.Install(int(page), data, mmu.ReadWrite, now)
+	a := sn.m.Aux(int(page))
+	a.Writer = e.site
+	a.Window = 0
+	a.ReaderMask = 0
+	p.writer = e.site
+	p.readers = 0
+	p.clock = e.site
+}
+
+// handleReleaseDone finalizes one page release at the departing site.
+func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
+	p := int(m.Page)
+	if sn.m.Present(p) {
+		sn.m.Invalidate(p)
+		a := sn.m.Aux(p)
+		a.ReaderMask = 0
+		a.Writer = mmu.NoWriter
+	}
+	sn.releasesPending--
+	if sn.releasesPending < 0 {
+		panic(fmt.Sprintf("core: site %d: excess release-done: %v", e.site, m))
+	}
+	if sn.releasesPending == 0 {
+		sn.releasing = false
+		// A re-attach may have queued faults while releasing.
+		for page := range sn.waiters {
+			e.wakeWaiters(sn, page)
+		}
+	}
+}

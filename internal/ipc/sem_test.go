@@ -1,0 +1,279 @@
+package ipc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mirage/internal/mem"
+)
+
+func TestSemgetCreateAndLookup(t *testing.T) {
+	c := NewCluster(2, Config{})
+	var id1, id2 SemID
+	var exclErr error
+	c.Site(0).Spawn("a", 0, func(p *Proc) {
+		id1, _ = p.Semget(5, 2, mem.Create)
+		_, exclErr = p.Semget(5, 2, mem.Create|mem.Exclusive)
+	})
+	c.Site(1).Spawn("b", 0, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		id2, _ = p.Semget(5, 2, 0)
+	})
+	c.Run()
+	if id1 == 0 || id1 != id2 {
+		t.Fatalf("ids: %d %d", id1, id2)
+	}
+	if !errors.Is(exclErr, ErrSemExists) {
+		t.Fatalf("excl err = %v", exclErr)
+	}
+}
+
+func TestSemgetMissingFails(t *testing.T) {
+	c := NewCluster(1, Config{})
+	var err error
+	c.Site(0).Spawn("a", 0, func(p *Proc) {
+		_, err = p.Semget(9, 1, 0)
+	})
+	c.Run()
+	if !errors.Is(err, ErrSemNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSemPVLocal(t *testing.T) {
+	c := NewCluster(1, Config{})
+	var order []string
+	c.Site(0).Spawn("holder", 0, func(p *Proc) {
+		id, _ := p.Semget(1, 1, mem.Create)
+		p.SemSetVal(id, 0, 1)
+		p.SemOp(id, 0, -1) // P: acquires
+		order = append(order, "A-in")
+		p.Sleep(50 * time.Millisecond)
+		order = append(order, "A-out")
+		p.SemOp(id, 0, 1) // V
+	})
+	c.Site(0).Spawn("waiter", 0, func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		id, _ := p.Semget(1, 1, 0)
+		p.SemOp(id, 0, -1) // blocks until A releases
+		order = append(order, "B-in")
+		p.SemOp(id, 0, 1)
+	})
+	c.Run()
+	want := []string{"A-in", "A-out", "B-in"}
+	for i, s := range want {
+		if i >= len(order) || order[i] != s {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSemRemoteMutualExclusion(t *testing.T) {
+	// Two sites alternate through a remote semaphore; the critical
+	// section invariant (at most one inside) must hold.
+	c := NewCluster(2, Config{})
+	inside, maxInside, entries := 0, 0, 0
+	worker := func(site int) {
+		c.Site(site).Spawn("w", 0, func(p *Proc) {
+			var id SemID
+			if site == 0 {
+				id, _ = p.Semget(2, 1, mem.Create)
+				p.SemSetVal(id, 0, 1)
+			} else {
+				p.Sleep(5 * time.Millisecond)
+				for {
+					var err error
+					id, err = p.Semget(2, 1, 0)
+					if err == nil {
+						break
+					}
+					p.Sleep(time.Millisecond)
+				}
+			}
+			for i := 0; i < 10; i++ {
+				p.SemOp(id, 0, -1)
+				inside++
+				entries++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Compute(3 * time.Millisecond)
+				inside--
+				p.SemOp(id, 0, 1)
+			}
+		})
+	}
+	worker(0)
+	worker(1)
+	c.Run()
+	if entries != 20 {
+		t.Fatalf("entries = %d", entries)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d inside", maxInside)
+	}
+}
+
+func TestSemRemoteOpCharged(t *testing.T) {
+	// A remote P+V pair must cost at least two short round trips.
+	c := NewCluster(2, Config{})
+	var elapsed time.Duration
+	c.Site(0).Spawn("home", 0, func(p *Proc) {
+		id, _ := p.Semget(3, 1, mem.Create)
+		p.SemSetVal(id, 0, 1)
+		p.Sleep(time.Second)
+	})
+	c.Site(1).Spawn("remote", 0, func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		id, _ := p.Semget(3, 1, 0)
+		t0 := p.Now()
+		p.SemOp(id, 0, -1)
+		p.SemOp(id, 0, 1)
+		elapsed = p.Now() - t0
+	})
+	c.Run()
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("remote P+V took %v; two 12.9 ms round trips expected", elapsed)
+	}
+}
+
+func TestSemWaitForZero(t *testing.T) {
+	c := NewCluster(1, Config{})
+	reached := false
+	c.Site(0).Spawn("z", 0, func(p *Proc) {
+		id, _ := p.Semget(4, 1, mem.Create)
+		p.SemSetVal(id, 0, 2)
+		go func() {}() // no-op; all activity is simulated
+		c.Site(0).Spawn("drain", 0, func(q *Proc) {
+			q.Sleep(20 * time.Millisecond)
+			q.SemOp(id, 0, -2)
+		})
+		p.SemOp(id, 0, 0) // wait-for-zero
+		reached = true
+	})
+	c.Run()
+	if !reached {
+		t.Fatal("wait-for-zero never satisfied")
+	}
+}
+
+func TestSemRangeErrors(t *testing.T) {
+	c := NewCluster(1, Config{})
+	var e1, e2, e3 error
+	c.Site(0).Spawn("r", 0, func(p *Proc) {
+		id, _ := p.Semget(6, 2, mem.Create)
+		e1 = p.SemOp(id, 5, 1)
+		e2 = p.SemSetVal(id, -1, 0)
+		e3 = p.SemOp(SemID(999), 0, 1)
+	})
+	c.Run()
+	if !errors.Is(e1, ErrSemRange) || !errors.Is(e2, ErrSemRange) || !errors.Is(e3, ErrSemNotFound) {
+		t.Fatalf("errs: %v %v %v", e1, e2, e3)
+	}
+}
+
+func TestSemRemoveWakesWaiters(t *testing.T) {
+	c := NewCluster(1, Config{})
+	woke := false
+	var id SemID
+	c.Site(0).Spawn("blocker", 0, func(p *Proc) {
+		id, _ = p.Semget(7, 1, mem.Create)
+		p.SemOp(id, 0, -1) // blocks (value 0)
+		woke = true
+	})
+	c.Site(0).Spawn("remover", 0, func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p.SemRemove(id)
+	})
+	c.Run()
+	if !woke {
+		t.Fatal("waiter not released by removal")
+	}
+}
+
+// TestFigure1Scenario reproduces §5.1's motivating example: two
+// critical sections under *different* semaphores access *different*
+// shared data regions that happen to share a page. The semaphores
+// permit full interleaving; coherence (not user synchronization) is
+// what keeps the page's data correct.
+func TestFigure1Scenario(t *testing.T) {
+	c := NewCluster(2, Config{})
+	const iters = 8
+	var v0, v1 uint32
+	worker := func(site, idx int) {
+		c.Site(site).Spawn("cs", 0, func(p *Proc) {
+			var sid SemID
+			var h *Shm
+			if site == 0 {
+				// Semaphores 0 and 1 guard the two critical sections;
+				// semaphore 2 counts completions.
+				sid, _ = p.Semget(11, 3, mem.Create)
+				p.SemSetVal(sid, 0, 1)
+				p.SemSetVal(sid, 1, 1)
+				h = attachSharedForTest(p, true)
+			} else {
+				p.Sleep(5 * time.Millisecond)
+				for {
+					var err error
+					sid, err = p.Semget(11, 3, 0)
+					if err == nil {
+						break
+					}
+					p.Sleep(time.Millisecond)
+				}
+				h = attachSharedForTest(p, false)
+			}
+			off := idx * 8 // different data regions, same 512-byte page
+			for i := 0; i < iters; i++ {
+				p.SemOp(sid, idx, -1) // this task's own semaphore
+				v, _ := h.Uint32(off)
+				p.Compute(time.Millisecond) // widen the race window
+				h.SetUint32(off, v+1)
+				p.SemOp(sid, idx, 1)
+			}
+			p.SemOp(sid, 2, 1)
+			if site == 0 {
+				// Verify before the last detach destroys the segment.
+				p.SemOp(sid, 2, -2)
+				v0, _ = h.Uint32(0)
+				v1, _ = h.Uint32(8)
+			}
+		})
+	}
+	worker(0, 0)
+	worker(1, 1)
+	c.Run()
+
+	// Both regions must have exactly their own increments: had the
+	// page been incoherent, one site's writes would overwrite the
+	// other's region with stale frame contents.
+	if v0 != iters || v1 != iters {
+		t.Fatalf("regions = %d,%d; want %d,%d (coherence must protect colocated regions)", v0, v1, iters, iters)
+	}
+}
+
+// attachSharedForTest mirrors the exp package helper for this package.
+func attachSharedForTest(p *Proc, create bool) *Shm {
+	const key mem.Key = 0x51
+	if create {
+		id, err := p.Shmget(key, 512, mem.Create, rw)
+		if err != nil {
+			panic(err)
+		}
+		h, err := p.Shmat(id, false)
+		if err != nil {
+			panic(err)
+		}
+		return h
+	}
+	for {
+		id, err := p.Shmget(key, 512, 0, 0)
+		if err == nil {
+			if h, err2 := p.Shmat(id, false); err2 == nil {
+				return h
+			}
+		}
+		p.Sleep(time.Millisecond)
+	}
+}

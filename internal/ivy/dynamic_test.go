@@ -1,0 +1,274 @@
+package ivy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/ipc"
+	"mirage/internal/mem"
+	"mirage/internal/mmu"
+)
+
+func dynCluster(n int) *ipc.Cluster {
+	return ipc.NewCluster(n, ipc.Config{
+		NewDSM: func(env core.Env) ipc.DSM { return NewDynamic(env) },
+	})
+}
+
+func TestDynamicCrossSiteCoherence(t *testing.T) {
+	c := dynCluster(3)
+	var read uint32
+	done := false
+	c.Site(0).Spawn("creator", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 42)
+		for {
+			v, _ := h.Uint32(8)
+			if v == 1 {
+				break
+			}
+			p.Yield()
+		}
+		v, _ := h.Uint32(4)
+		read = v
+		done = true
+	})
+	c.Site(2).Spawn("partner", 0, func(p *ipc.Proc) {
+		p.Sleep(time.Millisecond)
+		var id mem.SegID
+		for {
+			var err error
+			id, err = p.Shmget(7, 512, 0, 0)
+			if err == nil {
+				break
+			}
+			p.Sleep(time.Millisecond)
+		}
+		h, _ := p.Shmat(id, false)
+		for {
+			v, _ := h.Uint32(0)
+			if v == 42 {
+				break
+			}
+			p.Yield()
+		}
+		h.SetUint32(4, 888)
+		h.SetUint32(8, 1)
+	})
+	c.RunFor(30 * time.Second)
+	if !done || read != 888 {
+		t.Fatalf("done=%v read=%d", done, read)
+	}
+}
+
+func TestDynamicOwnershipChases(t *testing.T) {
+	// Ownership hops 0 -> 1 -> 2; a request from site 0 must chase the
+	// probOwner chain to the true owner.
+	c := dynCluster(3)
+	var final uint32
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 1)
+		p.Sleep(300 * time.Millisecond)
+		final, _ = h.Uint32(0) // chases 1 -> 2
+	})
+	c.Site(1).Spawn("hop1", 0, func(p *ipc.Proc) {
+		p.Sleep(20 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 2)
+		p.Sleep(400 * time.Millisecond)
+	})
+	c.Site(2).Spawn("hop2", 0, func(p *ipc.Proc) {
+		p.Sleep(100 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 3)
+		p.Sleep(400 * time.Millisecond)
+	})
+	c.Run()
+	if final != 3 {
+		t.Fatalf("read %d, want 3 (forwarding chain broken)", final)
+	}
+}
+
+func TestDynamicConcurrentWriters(t *testing.T) {
+	// All sites write the same word concurrently; ownership must chase
+	// correctly and the invariant must hold throughout.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sites := 2 + rng.Intn(3)
+		c := dynCluster(sites)
+		oracle := uint32(0)
+		ok := true
+		steps := 6 + rng.Intn(8)
+		plan := make([]struct {
+			site  int
+			write bool
+			val   uint32
+		}, steps)
+		for i := range plan {
+			plan[i].site = rng.Intn(sites)
+			plan[i].write = rng.Intn(2) == 0
+			plan[i].val = uint32(i + 1)
+		}
+		for s := 0; s < sites; s++ {
+			s := s
+			c.Site(s).Spawn("driver", 0, func(p *ipc.Proc) {
+				var h *ipc.Shm
+				if s == 0 {
+					id, _ := p.Shmget(9, 512, mem.Create, rw)
+					h, _ = p.Shmat(id, false)
+				} else {
+					p.Sleep(10 * time.Millisecond)
+					id, _ := p.Shmget(9, 512, 0, 0)
+					h, _ = p.Shmat(id, false)
+				}
+				for i, op := range plan {
+					slot := time.Duration(i+1) * time.Second
+					if d := slot - p.Now(); d > 0 {
+						p.Sleep(d)
+					}
+					if op.site != s {
+						continue
+					}
+					if op.write {
+						if h.SetUint32(0, op.val) != nil {
+							ok = false
+							return
+						}
+						oracle = op.val
+					} else if v, err := h.Uint32(0); err != nil || v != oracle {
+						ok = false
+					}
+					// Invariant.
+					writers, readers := 0, 0
+					for q := 0; q < sites; q++ {
+						eng := c.Site(q).DSM.(*Dynamic)
+						sn := eng.segs[1]
+						if sn == nil {
+							continue
+						}
+						switch sn.m.Prot(0) {
+						case mmu.ReadWrite:
+							writers++
+						case mmu.ReadOnly:
+							readers++
+						}
+					}
+					if writers > 1 || (writers == 1 && readers > 0) {
+						ok = false
+					}
+				}
+				p.Sleep(time.Duration(steps+2) * time.Second)
+			})
+		}
+		c.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicOwnerReleaseTransfersHome(t *testing.T) {
+	c := dynCluster(2)
+	c.Site(1).Spawn("owner", 0, func(p *ipc.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 555) // becomes owner
+		p.Shmdt(h)
+	})
+	var back uint32
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		p.Sleep(time.Second)
+		back, _ = h.Uint32(0)
+	})
+	c.Run()
+	if back != 555 {
+		t.Fatalf("home read %d after owner release, want 555", back)
+	}
+}
+
+func TestDynamicReadSharingThenUpgrade(t *testing.T) {
+	// Several readers share, then one upgrades: every other copy must
+	// be invalidated via the shipped copy set.
+	c := dynCluster(4)
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 7)
+		p.Sleep(2 * time.Second)
+	})
+	for s := 1; s < 4; s++ {
+		s := s
+		c.Site(s).Spawn("reader", 0, func(p *ipc.Proc) {
+			p.Sleep(time.Duration(s*10) * time.Millisecond)
+			id, _ := p.Shmget(7, 512, 0, rw)
+			h, _ := p.Shmat(id, false)
+			h.Uint32(0)
+			if s == 3 {
+				p.Sleep(200 * time.Millisecond)
+				h.SetUint32(0, 8) // upgrade: invalidates the other readers
+			}
+			p.Sleep(2 * time.Second)
+		})
+	}
+	c.RunFor(time.Second)
+	// After the upgrade, only site 3 may hold a copy.
+	for s := 0; s < 3; s++ {
+		eng := c.Site(s).DSM.(*Dynamic)
+		if sn := eng.segs[1]; sn != nil && sn.m.Present(0) {
+			t.Fatalf("site %d still holds a copy after upgrade", s)
+		}
+	}
+	e3 := c.Site(3).DSM.(*Dynamic)
+	if e3.segs[1].m.Prot(0) != mmu.ReadWrite {
+		t.Fatal("upgrader lacks the writable copy")
+	}
+	c.Run()
+}
+
+func TestDynamicForwardingCounts(t *testing.T) {
+	// The probOwner chain self-compresses: after a burst of writes by
+	// one remote site, a request from a third site should reach the
+	// owner in a bounded number of hops (forwards happen, but far fewer
+	// than writes).
+	c := dynCluster(3)
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 1)
+		p.Sleep(2 * time.Second)
+	})
+	c.Site(1).Spawn("writer", 0, func(p *ipc.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		for i := 0; i < 10; i++ {
+			h.SetUint32(0, uint32(i))
+			p.Sleep(5 * time.Millisecond)
+		}
+		p.Sleep(2 * time.Second)
+	})
+	var got uint32
+	c.Site(2).Spawn("latecomer", 0, func(p *ipc.Proc) {
+		p.Sleep(300 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		got, _ = h.Uint32(0)
+		p.Sleep(time.Second)
+	})
+	c.Run()
+	if got != 9 {
+		t.Fatalf("latecomer read %d, want 9", got)
+	}
+}

@@ -1,0 +1,223 @@
+package ivy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/ipc"
+	"mirage/internal/mem"
+	"mirage/internal/mmu"
+)
+
+const rw = mem.OwnerRead | mem.OwnerWrite | mem.OtherRead | mem.OtherWrite
+
+func ivyCluster(n int) *ipc.Cluster {
+	return ipc.NewCluster(n, ipc.Config{
+		NewDSM: func(env core.Env) ipc.DSM { return New(env) },
+	})
+}
+
+func TestIvyCrossSiteCoherence(t *testing.T) {
+	c := ivyCluster(2)
+	var read uint32
+	done := false
+	c.Site(0).Spawn("creator", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 42)
+		for {
+			v, _ := h.Uint32(8)
+			if v == 1 {
+				break
+			}
+			p.Yield()
+		}
+		v, _ := h.Uint32(4)
+		read = v
+		done = true
+	})
+	c.Site(1).Spawn("partner", 0, func(p *ipc.Proc) {
+		p.Sleep(time.Millisecond)
+		var id mem.SegID
+		for {
+			var err error
+			id, err = p.Shmget(7, 512, 0, 0)
+			if err == nil {
+				break
+			}
+			p.Sleep(time.Millisecond)
+		}
+		h, _ := p.Shmat(id, false)
+		for {
+			v, _ := h.Uint32(0)
+			if v == 42 {
+				break
+			}
+			p.Yield()
+		}
+		h.SetUint32(4, 777)
+		h.SetUint32(8, 1)
+	})
+	c.RunFor(30 * time.Second)
+	if !done || read != 777 {
+		t.Fatalf("done=%v read=%d", done, read)
+	}
+}
+
+func TestIvyWriteShipsPageEvenToReader(t *testing.T) {
+	// The defining contrast with Mirage optimization 1: a reader
+	// upgrading to writer receives a full page copy.
+	c := ivyCluster(2)
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 5)
+		p.Sleep(3 * time.Second)
+	})
+	c.Site(1).Spawn("upgrader", 0, func(p *ipc.Proc) {
+		p.Sleep(100 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, 0)
+		h, _ := p.Shmat(id, false)
+		h.Uint32(0)        // read copy
+		h.SetUint32(0, 6)  // upgrade: IVY ships the page again
+		p.Sleep(2 * time.Second)
+	})
+	c.Run()
+	e1 := c.Site(1).DSM.(*Engine)
+	if e1.Stats().PagesReceived < 2 {
+		t.Fatalf("pages received = %d; IVY must ship data on upgrade", e1.Stats().PagesReceived)
+	}
+}
+
+func TestIvySingleWriterInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sites := 2 + rng.Intn(2)
+		c := ivyCluster(sites)
+		type op struct {
+			site  int
+			write bool
+			val   uint32
+		}
+		plan := make([]op, 6+rng.Intn(8))
+		for i := range plan {
+			plan[i] = op{site: rng.Intn(sites), write: rng.Intn(2) == 0, val: uint32(i + 1)}
+		}
+		ok := true
+		var handles []*ipc.Shm
+		for s := 0; s < sites; s++ {
+			s := s
+			c.Site(s).Spawn("driver", 0, func(p *ipc.Proc) {
+				var h *ipc.Shm
+				if s == 0 {
+					id, _ := p.Shmget(9, 512, mem.Create, rw)
+					h, _ = p.Shmat(id, false)
+				} else {
+					p.Sleep(10 * time.Millisecond)
+					id, _ := p.Shmget(9, 512, 0, 0)
+					h, _ = p.Shmat(id, false)
+				}
+				handles = append(handles, h)
+				for i, o := range plan {
+					slot := time.Duration(i+1) * time.Second
+					if d := slot - p.Now(); d > 0 {
+						p.Sleep(d)
+					}
+					if o.site != s {
+						continue
+					}
+					if o.write {
+						h.SetUint32(0, o.val)
+					} else {
+						got, _ := h.Uint32(0)
+						want := uint32(0)
+						for j := i - 1; j >= 0; j-- {
+							if plan[j].write {
+								want = plan[j].val
+								break
+							}
+						}
+						if got != want {
+							ok = false
+						}
+					}
+					// Invariant check across sites.
+					writers, readers := 0, 0
+					for q := 0; q < sites; q++ {
+						eng := c.Site(q).DSM.(*Engine)
+						seg := eng.segs[1]
+						if seg == nil {
+							continue
+						}
+						switch seg.m.Prot(0) {
+						case mmu.ReadWrite:
+							writers++
+						case mmu.ReadOnly:
+							readers++
+						}
+					}
+					if writers > 1 || (writers == 1 && readers > 0) {
+						ok = false
+					}
+				}
+				p.Sleep(time.Duration(len(plan)+2) * time.Second)
+			})
+		}
+		c.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIvyReleaseReturnsDataHome(t *testing.T) {
+	c := ivyCluster(2)
+	c.Site(1).Spawn("writer", 0, func(p *ipc.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 99)
+		p.Shmdt(h)
+	})
+	var back uint32
+	c.Site(0).Spawn("home", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		p.Sleep(time.Second)
+		back, _ = h.Uint32(0)
+	})
+	c.Run()
+	if back != 99 {
+		t.Fatalf("home read %d after release, want 99", back)
+	}
+}
+
+func TestIvyNoDeltaNoRetention(t *testing.T) {
+	// IVY has no window: a remote write is granted in a handful of
+	// round trips even if the holder just received the page.
+	c := ivyCluster(2)
+	var elapsed time.Duration
+	c.Site(1).Spawn("holder", 0, func(p *ipc.Proc) {
+		p.Sleep(50 * time.Millisecond)
+		id, _ := p.Shmget(7, 512, 0, rw)
+		h, _ := p.Shmat(id, false)
+		h.SetUint32(0, 1)
+		p.Sleep(2 * time.Second)
+	})
+	c.Site(0).Spawn("taker", 0, func(p *ipc.Proc) {
+		id, _ := p.Shmget(7, 512, mem.Create, rw)
+		h, _ := p.Shmat(id, false)
+		p.Sleep(500 * time.Millisecond)
+		t0 := p.Now()
+		h.SetUint32(0, 2)
+		elapsed = p.Now() - t0
+	})
+	c.Run()
+	if elapsed == 0 || elapsed > 80*time.Millisecond {
+		t.Fatalf("IVY write handoff took %v", elapsed)
+	}
+}

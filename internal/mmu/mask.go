@@ -1,0 +1,73 @@
+package mmu
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SiteMask is a set of site IDs, used as the auxpte "reader mask"
+// (paper Table 2). Mirage networks are small (the prototype had 3
+// VAXs); 64 sites is ample.
+type SiteMask uint64
+
+// MaxSites is the largest site ID a SiteMask can hold, plus one.
+const MaxSites = 64
+
+// Add returns m with site s added.
+func (m SiteMask) Add(s int) SiteMask { return m | 1<<uint(s) }
+
+// Remove returns m with site s removed.
+func (m SiteMask) Remove(s int) SiteMask { return m &^ (1 << uint(s)) }
+
+// Has reports whether site s is in the set.
+func (m SiteMask) Has(s int) bool { return m&(1<<uint(s)) != 0 }
+
+// Count returns the number of sites in the set.
+func (m SiteMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Empty reports whether the set has no sites.
+func (m SiteMask) Empty() bool { return m == 0 }
+
+// Sites returns the members in ascending order.
+func (m SiteMask) Sites() []int {
+	out := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; {
+		s := bits.TrailingZeros64(v)
+		out = append(out, s)
+		v &^= 1 << uint(s)
+	}
+	return out
+}
+
+// ForEach calls fn for each member in ascending order.
+func (m SiteMask) ForEach(fn func(s int)) {
+	for v := uint64(m); v != 0; {
+		s := bits.TrailingZeros64(v)
+		fn(s)
+		v &^= 1 << uint(s)
+	}
+}
+
+// String renders the set like "{0,2,5}".
+func (m SiteMask) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range m.Sites() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MaskOf builds a SiteMask from site IDs.
+func MaskOf(sites ...int) SiteMask {
+	var m SiteMask
+	for _, s := range sites {
+		m = m.Add(s)
+	}
+	return m
+}

@@ -1,0 +1,240 @@
+// Package mmu models the memory-management hardware and kernel tables
+// Mirage layers its protocol on (paper §6.2).
+//
+// For each shared segment a site keeps:
+//
+//   - a master page-table: one PTE per page with a valid bit and a
+//     protection bit (read-only or read-write), exactly the state the
+//     VAX hardware consults;
+//   - an auxiliary parallel page table (auxpte, Table 2): per page,
+//     the reader mask, the current writer site, the page's time window
+//     in ticks (Δ), and the installation time at this site;
+//   - the page frames themselves, for pages present at the site.
+//
+// Processes attach segments into address spaces managed by the ipc
+// package; each attached process carries a copy of the master PTEs
+// refreshed lazily at dispatch (§6.2), which the sched layer charges
+// as remap cost. Coherence checks consult the master table: in the
+// paper every path from a master-table change back to user mode passes
+// through the scheduler's remap, so user code never observes a stale
+// process PTE.
+package mmu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Prot is a page protection level.
+type Prot uint8
+
+const (
+	// Invalid marks a page not present at this site.
+	Invalid Prot = iota
+	// ReadOnly marks a readable copy.
+	ReadOnly
+	// ReadWrite marks the (single) writable copy.
+	ReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case Invalid:
+		return "invalid"
+	case ReadOnly:
+		return "read-only"
+	case ReadWrite:
+		return "read-write"
+	}
+	return fmt.Sprintf("Prot(%d)", uint8(p))
+}
+
+// FaultType classifies a page fault, which the VAX reports (and the
+// modified Locus interrupt service routine passes through, §6.2).
+type FaultType uint8
+
+const (
+	// NoFault means the access is permitted by the current PTE.
+	NoFault FaultType = iota
+	// ReadFault is an access to a page not present at the site.
+	ReadFault
+	// WriteFault is a write to a page that is absent or read-only.
+	WriteFault
+)
+
+func (f FaultType) String() string {
+	switch f {
+	case NoFault:
+		return "none"
+	case ReadFault:
+		return "read-fault"
+	case WriteFault:
+		return "write-fault"
+	}
+	return fmt.Sprintf("FaultType(%d)", uint8(f))
+}
+
+// PTE is one master page-table entry.
+type PTE struct {
+	Prot Prot
+}
+
+// AuxPTE is one auxiliary parallel page table entry (paper Table 2).
+type AuxPTE struct {
+	ReaderMask  SiteMask      // list of sites using this page
+	Writer      int           // current writer site, or NoWriter
+	Window      time.Duration // Δ allocated for this page ("window ticks")
+	InstallTime time.Duration // installation time of this page at this site
+}
+
+// NoWriter is the AuxPTE.Writer value when no site holds a writable copy.
+const NoWriter = -1
+
+// Seg is the per-site MMU state for one segment.
+type Seg struct {
+	pageSize int
+	pte      []PTE
+	aux      []AuxPTE
+	frames   [][]byte
+}
+
+// NewSeg creates MMU state for a segment of npages pages.
+func NewSeg(npages, pageSize int) *Seg {
+	if npages <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("mmu: bad geometry %d x %d", npages, pageSize))
+	}
+	s := &Seg{
+		pageSize: pageSize,
+		pte:      make([]PTE, npages),
+		aux:      make([]AuxPTE, npages),
+		frames:   make([][]byte, npages),
+	}
+	for i := range s.aux {
+		s.aux[i].Writer = NoWriter
+	}
+	return s
+}
+
+// Pages returns the number of pages.
+func (s *Seg) Pages() int { return len(s.pte) }
+
+// PageSize returns the page size in bytes.
+func (s *Seg) PageSize() int { return s.pageSize }
+
+// Prot returns the current protection of page p.
+func (s *Seg) Prot(p int) Prot { return s.pte[p].Prot }
+
+// Aux returns a pointer to page p's auxpte for inspection or update.
+func (s *Seg) Aux(p int) *AuxPTE { return &s.aux[p] }
+
+// Check classifies an access against the master page table without
+// performing it.
+func (s *Seg) Check(p int, write bool) FaultType {
+	switch s.pte[p].Prot {
+	case ReadWrite:
+		return NoFault
+	case ReadOnly:
+		if write {
+			return WriteFault
+		}
+		return NoFault
+	default:
+		if write {
+			return WriteFault
+		}
+		return ReadFault
+	}
+}
+
+// Frame returns the frame backing page p, or nil when the page is not
+// present. Callers must respect the protection; the protocol engine is
+// the only writer of invalid/RO frames.
+func (s *Seg) Frame(p int) []byte { return s.frames[p] }
+
+// Install maps page p at this site with protection prot and contents
+// data (copied; nil means zero-filled), recording the install time for
+// the Δ clock check. Installing with Invalid protection is a model bug.
+func (s *Seg) Install(p int, data []byte, prot Prot, now time.Duration) {
+	if prot == Invalid {
+		panic("mmu: Install with Invalid protection")
+	}
+	if s.frames[p] == nil {
+		s.frames[p] = make([]byte, s.pageSize)
+	}
+	if data != nil {
+		if len(data) != s.pageSize {
+			panic(fmt.Sprintf("mmu: install %d bytes into %d-byte page", len(data), s.pageSize))
+		}
+		copy(s.frames[p], data)
+	} else {
+		for i := range s.frames[p] {
+			s.frames[p][i] = 0
+		}
+	}
+	s.pte[p].Prot = prot
+	s.aux[p].InstallTime = now
+}
+
+// Invalidate unmaps page p and discards the frame. It returns the old
+// contents so a caller forwarding the page (invalidated writer sending
+// its data to the new writer) can use them without an extra copy.
+func (s *Seg) Invalidate(p int) []byte {
+	f := s.frames[p]
+	s.frames[p] = nil
+	s.pte[p].Prot = Invalid
+	return f
+}
+
+// Downgrade reduces a read-write page to read-only, retaining the
+// frame (optimization 2, §6.1). Downgrading a non-writable page is a
+// protocol bug and panics.
+func (s *Seg) Downgrade(p int, now time.Duration) {
+	if s.pte[p].Prot != ReadWrite {
+		panic(fmt.Sprintf("mmu: downgrade of %v page %d", s.pte[p].Prot, p))
+	}
+	s.pte[p].Prot = ReadOnly
+	s.aux[p].InstallTime = now
+}
+
+// Upgrade raises a read-only page to read-write in place (optimization
+// 1: a reader becoming writer receives no page copy). Upgrading a page
+// that is not read-only panics.
+func (s *Seg) Upgrade(p int, now time.Duration) {
+	if s.pte[p].Prot != ReadOnly {
+		panic(fmt.Sprintf("mmu: upgrade of %v page %d", s.pte[p].Prot, p))
+	}
+	s.pte[p].Prot = ReadWrite
+	s.aux[p].InstallTime = now
+}
+
+// Present reports whether page p has a frame at this site.
+func (s *Seg) Present(p int) bool { return s.pte[p].Prot != Invalid }
+
+// PresentCount returns how many pages are present at this site.
+func (s *Seg) PresentCount() int {
+	n := 0
+	for i := range s.pte {
+		if s.pte[i].Prot != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// WindowExpired reports whether page p's Δ window has elapsed at time
+// now. A zero window is always expired.
+func (s *Seg) WindowExpired(p int, now time.Duration) bool {
+	a := &s.aux[p]
+	return now >= a.InstallTime+a.Window
+}
+
+// WindowRemaining returns how much of page p's Δ window remains at
+// time now (zero if expired).
+func (s *Seg) WindowRemaining(p int, now time.Duration) time.Duration {
+	a := &s.aux[p]
+	rem := a.InstallTime + a.Window - now
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

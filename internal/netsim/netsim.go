@@ -1,0 +1,170 @@
+// Package netsim models the Locus communication substrate of the
+// Mirage prototype: point-to-point virtual circuits over a 10 Mbit
+// Ethernet connecting a small number of sites.
+//
+// The cost model follows the paper's Table 3 accounting: each message
+// is charged a transmission-elapsed interval at the sending site's
+// network interface and a reception-elapsed interval at the receiving
+// site's interface, both functions of the payload size
+// (vaxmodel.MsgSideElapsed). Interfaces are serially reusable — a NIC
+// transmits (or receives) one message at a time — which preserves the
+// per-circuit FIFO ordering Locus guarantees and produces realistic
+// queueing when protocol traffic bunches up.
+//
+// Delivery is reliable; Locus maintained virtual circuits beneath its
+// network messages. For failure-injection tests a per-network Delay
+// hook can stretch individual deliveries.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"mirage/internal/sim"
+	"mirage/internal/vaxmodel"
+)
+
+// SiteID identifies a site (machine) on the network. Sites are
+// numbered 0..n-1.
+type SiteID int
+
+// Message is a network message in flight.
+type Message struct {
+	From, To SiteID
+	Size     int // payload bytes; 0 means a short (bufferless) message
+	Payload  any // protocol-level content, opaque to the network
+}
+
+// Handler receives delivered messages at a site. It runs in kernel
+// (event) context at the instant reception-elapsed completes.
+type Handler func(m Message)
+
+// Stats are cumulative traffic counters.
+type Stats struct {
+	Sent       int // messages handed to the network, excluding loopback
+	Delivered  int // messages delivered to handlers, excluding loopback
+	Loopback   int // messages where From == To (no network cost)
+	ShortMsgs  int // delivered messages with Size < LargeThreshold
+	LargeMsgs  int // delivered messages with Size >= LargeThreshold
+	Bytes      int // cumulative payload bytes delivered
+	TxBusy     time.Duration
+	RxBusy     time.Duration
+}
+
+// LargeThreshold classifies messages for Stats: the paper counts
+// 1024-byte page-carrying responses as "large" and the rest as short.
+const LargeThreshold = 512
+
+type nic struct {
+	txBusyUntil sim.Time
+	rxBusyUntil sim.Time
+	handler     Handler
+}
+
+// Network is a simulated Ethernet connecting n sites.
+type Network struct {
+	k     *sim.Kernel
+	nics  []nic
+	stats Stats
+
+	// Delay, if non-nil, returns extra propagation delay to add to a
+	// message delivery. Used by tests to inject slow links.
+	Delay func(m Message) time.Duration
+
+	// SideElapsed computes the per-side elapsed cost of a message.
+	// Defaults to vaxmodel.MsgSideElapsed.
+	SideElapsed func(payload int) time.Duration
+}
+
+// New creates a network of n sites on kernel k.
+func New(k *sim.Kernel, n int) *Network {
+	return &Network{
+		k:           k,
+		nics:        make([]nic, n),
+		SideElapsed: vaxmodel.MsgSideElapsed,
+	}
+}
+
+// Sites returns the number of sites.
+func (n *Network) Sites() int { return len(n.nics) }
+
+// Bind registers the delivery handler for a site. Each site must be
+// bound exactly once before messages are sent to it.
+func (n *Network) Bind(s SiteID, h Handler) {
+	if n.nics[s].handler != nil {
+		panic(fmt.Sprintf("netsim: site %d bound twice", s))
+	}
+	n.nics[s].handler = h
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// Send queues a message for delivery. It may be called from any event
+// or process context; it returns immediately, having scheduled the
+// transmit/deliver events. Sending to an unbound site panics at
+// delivery time.
+//
+// Loopback messages (From == To) model the colocated-library case: they
+// are delivered at the current instant with no network charge. Callers
+// account for local service CPU themselves.
+func (n *Network) Send(m Message) {
+	if m.To < 0 || int(m.To) >= len(n.nics) || m.From < 0 || int(m.From) >= len(n.nics) {
+		panic(fmt.Sprintf("netsim: send %d -> %d out of range", m.From, m.To))
+	}
+	if m.From == m.To {
+		n.stats.Loopback++
+		n.k.Post(func() { n.deliverNow(m) })
+		return
+	}
+	n.stats.Sent++
+	side := n.SideElapsed(m.Size)
+
+	// Serialize on the sender's transmitter.
+	tx := &n.nics[m.From]
+	start := n.k.Now()
+	if tx.txBusyUntil > start {
+		start = tx.txBusyUntil
+	}
+	txDone := start.Add(side)
+	tx.txBusyUntil = txDone
+	n.stats.TxBusy += side
+
+	extra := time.Duration(0)
+	if n.Delay != nil {
+		extra = n.Delay(m)
+	}
+
+	n.k.At(txDone.Add(extra), func() {
+		// Serialize on the receiver's interface.
+		rx := &n.nics[m.To]
+		rstart := n.k.Now()
+		if rx.rxBusyUntil > rstart {
+			rstart = rx.rxBusyUntil
+		}
+		rxDone := rstart.Add(side)
+		rx.rxBusyUntil = rxDone
+		n.stats.RxBusy += side
+		n.k.At(rxDone, func() { n.deliverNow(m) })
+	})
+}
+
+func (n *Network) deliverNow(m Message) {
+	h := n.nics[m.To].handler
+	if h == nil {
+		panic(fmt.Sprintf("netsim: deliver to unbound site %d", m.To))
+	}
+	if m.From != m.To {
+		n.stats.Delivered++
+		if m.Size >= LargeThreshold {
+			n.stats.LargeMsgs++
+		} else {
+			n.stats.ShortMsgs++
+		}
+		n.stats.Bytes += m.Size
+	}
+	h(m)
+}

@@ -1,0 +1,426 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"mirage/internal/sim"
+	"mirage/internal/vaxmodel"
+)
+
+// fastCfg removes dispatch overheads so tests can assert exact timings.
+func fastCfg() Config {
+	return Config{
+		Quantum:           100 * time.Millisecond,
+		ClockTick:         10 * time.Millisecond,
+		ContextSwitch:     time.Nanosecond,
+		RemapPerPage:      time.Nanosecond,
+		RescheduleLatency: 30 * time.Millisecond,
+		YieldCost:         time.Nanosecond,
+		KernelPreemptGrid: 30 * time.Millisecond,
+	}
+}
+
+func TestComputeConsumesTime(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var end sim.Time
+	c.Spawn("w", func(tk *Task) {
+		tk.Compute(25 * time.Millisecond)
+		end = tk.Now()
+	})
+	k.Run()
+	want := 25*time.Millisecond + time.Nanosecond // + context switch
+	if end.Duration() != want {
+		t.Fatalf("compute finished at %v, want %v", end, want)
+	}
+	if c.Stats().UserBusy != 25*time.Millisecond {
+		t.Fatalf("UserBusy = %v", c.Stats().UserBusy)
+	}
+}
+
+func TestRoundRobinQuantum(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 20 * time.Millisecond
+	c := New(k, "cpu0", cfg)
+	var doneA, doneB sim.Time
+	c.Spawn("a", func(tk *Task) {
+		tk.Compute(30 * time.Millisecond)
+		doneA = tk.Now()
+	})
+	c.Spawn("b", func(tk *Task) {
+		tk.Compute(30 * time.Millisecond)
+		doneB = tk.Now()
+	})
+	k.Run()
+	// a runs 20, b runs 20, a runs 10 (done at ~50), b runs 10 (~60).
+	if doneA.Duration() < 49*time.Millisecond || doneA.Duration() > 51*time.Millisecond {
+		t.Fatalf("a done at %v, want ~50ms", doneA)
+	}
+	if doneB.Duration() < 59*time.Millisecond || doneB.Duration() > 61*time.Millisecond {
+		t.Fatalf("b done at %v, want ~60ms", doneB)
+	}
+	if c.Stats().Preemptions < 2 {
+		t.Fatalf("preemptions = %d, want >= 2", c.Stats().Preemptions)
+	}
+}
+
+func TestLoneTaskKeepsCPUAcrossQuantum(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 10 * time.Millisecond
+	c := New(k, "cpu0", cfg)
+	var end sim.Time
+	c.Spawn("solo", func(tk *Task) {
+		tk.Compute(45 * time.Millisecond)
+		end = tk.Now()
+	})
+	k.Run()
+	if end.Duration() > 46*time.Millisecond {
+		t.Fatalf("solo task done at %v; quantum expiry must not delay a lone task", end)
+	}
+	if c.Stats().Preemptions != 0 {
+		t.Fatalf("preemptions = %d, want 0", c.Stats().Preemptions)
+	}
+}
+
+func TestKernelWorkWaitsForSchedulerPass(t *testing.T) {
+	// A busy user task holds the CPU; kernel work queued mid-compute
+	// runs at the next scheduler pass (the RescheduleLatency grid),
+	// where the woken server preempts — not immediately, and not a
+	// whole quantum later.
+	k := sim.NewKernel()
+	cfg := fastCfg() // resched grid = 30ms
+	c := New(k, "cpu0", cfg)
+	var kernelAt sim.Time
+	c.Spawn("spin", func(tk *Task) {
+		tk.Compute(300 * time.Millisecond)
+	})
+	k.After(15*time.Millisecond, func() {
+		c.KernelWork(time.Millisecond, func() { kernelAt = k.Now() })
+	})
+	k.Run()
+	// Next pass after 15ms on a 30ms grid is 30ms; +1ms of work.
+	if kernelAt.Duration() < 30*time.Millisecond || kernelAt.Duration() > 32*time.Millisecond {
+		t.Fatalf("kernel work completed at %v, want right after the 30ms pass", kernelAt)
+	}
+}
+
+func TestKernelWorkRunsWhenTaskBlocks(t *testing.T) {
+	// The moment the computing task blocks, pending kernel work runs.
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var kernelAt sim.Time
+	tk := c.Spawn("worker", func(tk *Task) {
+		tk.Compute(20 * time.Millisecond)
+		tk.Block()
+	})
+	k.After(5*time.Millisecond, func() {
+		c.KernelWork(time.Millisecond, func() { kernelAt = k.Now() })
+	})
+	k.RunFor(time.Second)
+	if kernelAt.Duration() < 20*time.Millisecond || kernelAt.Duration() > 22*time.Millisecond {
+		t.Fatalf("kernel work at %v, want right after the task blocks at ~20ms", kernelAt)
+	}
+	tk.Wakeup()
+	k.Run()
+}
+
+func TestKernelWorkImmediateWhenIdle(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var at sim.Time
+	k.After(3*time.Millisecond, func() {
+		c.KernelWork(2*time.Millisecond, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != sim.Time(5*time.Millisecond) {
+		t.Fatalf("kernel work at %v, want 5ms (idle CPU runs it at once)", at)
+	}
+}
+
+func TestKernelWorkFIFOChain(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var order []int
+	c.KernelWork(time.Millisecond, func() { order = append(order, 1) })
+	c.KernelWork(time.Millisecond, func() { order = append(order, 2) })
+	c.KernelWork(time.Millisecond, func() { order = append(order, 3) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Stats().KernelBusy != 3*time.Millisecond {
+		t.Fatalf("KernelBusy = %v", c.Stats().KernelBusy)
+	}
+}
+
+func TestComputeResumesAfterKernelWork(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 10 * time.Millisecond
+	cfg.KernelPreemptGrid = 10 * time.Millisecond
+	c := New(k, "cpu0", cfg)
+	var end sim.Time
+	c.Spawn("w", func(tk *Task) {
+		tk.Compute(30 * time.Millisecond)
+		end = tk.Now()
+	})
+	k.After(5*time.Millisecond, func() {
+		c.KernelWork(4*time.Millisecond, func() {})
+	})
+	k.Run()
+	// Task computes its 10ms quantum [~0,10), kernel [10,14), task
+	// resumes [14,34+eps).
+	want := 34 * time.Millisecond
+	got := end.Duration()
+	if got < want || got > want+time.Millisecond {
+		t.Fatalf("compute end = %v, want ~%v (preempted compute must resume)", got, want)
+	}
+	if c.Stats().UserBusy != 30*time.Millisecond {
+		t.Fatalf("UserBusy = %v, want exactly 30ms", c.Stats().UserBusy)
+	}
+}
+
+func TestYieldHandsOffToOtherTask(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var order []string
+	c.Spawn("a", func(tk *Task) {
+		order = append(order, "a1")
+		tk.Yield()
+		order = append(order, "a2")
+	})
+	c.Spawn("b", func(tk *Task) {
+		order = append(order, "b1")
+	})
+	k.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i, s := range want {
+		if i >= len(order) || order[i] != s {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Stats().Yields != 1 {
+		t.Fatalf("yields = %d", c.Stats().Yields)
+	}
+}
+
+func TestYieldAloneSleepsRescheduleLatency(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg()) // resched latency 30ms
+	var t0, t1 sim.Time
+	c.Spawn("solo", func(tk *Task) {
+		t0 = tk.Now()
+		tk.Yield()
+		t1 = tk.Now()
+	})
+	k.Run()
+	gap := t1.Sub(t0)
+	if gap < 30*time.Millisecond || gap > 31*time.Millisecond {
+		t.Fatalf("lone yield latency = %v, want ~30ms", gap)
+	}
+}
+
+func TestSleepWakes(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var woke sim.Time
+	c.Spawn("s", func(tk *Task) {
+		tk.Sleep(40 * time.Millisecond)
+		woke = tk.Now()
+	})
+	k.Run()
+	if woke.Duration() < 40*time.Millisecond || woke.Duration() > 41*time.Millisecond {
+		t.Fatalf("woke at %v", woke)
+	}
+}
+
+func TestBlockAndWakeup(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var resumed sim.Time
+	tk := c.Spawn("b", func(tk *Task) {
+		tk.Block()
+		resumed = tk.Now()
+	})
+	k.After(25*time.Millisecond, func() {
+		if !tk.Blocked() {
+			t.Error("task should be blocked")
+		}
+		tk.Wakeup()
+	})
+	k.Run()
+	if resumed.Duration() < 25*time.Millisecond || resumed.Duration() > 26*time.Millisecond {
+		t.Fatalf("resumed at %v", resumed)
+	}
+}
+
+func TestWakeupOfRunnableIsNoop(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	tk := c.Spawn("b", func(tk *Task) {
+		tk.Block()
+	})
+	k.After(time.Millisecond, func() {
+		tk.Wakeup()
+		tk.Wakeup() // second wakeup: task is ready, must be a no-op
+	})
+	k.Run()
+}
+
+func TestBlockedTaskFreesCPU(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var bRan bool
+	tk := c.Spawn("blocker", func(tk *Task) {
+		tk.Block()
+	})
+	c.Spawn("other", func(tk *Task) {
+		tk.Compute(5 * time.Millisecond)
+		bRan = true
+	})
+	k.RunFor(50 * time.Millisecond)
+	if !bRan {
+		t.Fatal("other task should run while first is blocked")
+	}
+	tk.Wakeup()
+	k.Run()
+}
+
+func TestDispatchChargesRemap(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.ContextSwitch = time.Millisecond
+	cfg.RemapPerPage = vaxmodel.RemapPerPage
+	c := New(k, "cpu0", cfg)
+	var end sim.Time
+	tk := c.Spawn("mapped", func(tk *Task) {
+		tk.Compute(time.Millisecond)
+		end = tk.Now()
+	})
+	tk.RemapPages = func() int { return 10 }
+	k.Run()
+	want := time.Millisecond + 10*vaxmodel.RemapPerPage + time.Millisecond
+	if end.Duration() != want {
+		t.Fatalf("end = %v, want %v (switch + 10-page remap + compute)", end, want)
+	}
+	if c.Stats().SwitchBusy != time.Millisecond+10*vaxmodel.RemapPerPage {
+		t.Fatalf("SwitchBusy = %v", c.Stats().SwitchBusy)
+	}
+}
+
+func TestBusyWaitQuantumHandoff(t *testing.T) {
+	// Reproduces the single-site §7.2 effect in miniature: a busy
+	// waiter burns its whole quantum before the partner runs.
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 50 * time.Millisecond
+	c := New(k, "cpu0", cfg)
+	flag := false
+	var partnerRan sim.Time
+	c.Spawn("spinner", func(tk *Task) {
+		for !flag {
+			tk.Compute(10 * time.Microsecond) // busy poll
+		}
+	})
+	c.Spawn("setter", func(tk *Task) {
+		flag = true
+		partnerRan = tk.Now()
+	})
+	k.RunFor(time.Second)
+	if partnerRan.Duration() < 50*time.Millisecond {
+		t.Fatalf("setter ran at %v, want after the 50ms quantum", partnerRan)
+	}
+	if partnerRan.Duration() > 52*time.Millisecond {
+		t.Fatalf("setter ran at %v, want right after quantum expiry", partnerRan)
+	}
+}
+
+func TestYieldAvoidsQuantumWaste(t *testing.T) {
+	// Same setup but the spinner yields: the setter runs immediately.
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 50 * time.Millisecond
+	c := New(k, "cpu0", cfg)
+	flag := false
+	var partnerRan sim.Time
+	c.Spawn("spinner", func(tk *Task) {
+		for !flag {
+			tk.Compute(10 * time.Microsecond)
+			tk.Yield()
+		}
+	})
+	c.Spawn("setter", func(tk *Task) {
+		flag = true
+		partnerRan = tk.Now()
+	})
+	k.RunFor(time.Second)
+	if partnerRan.Duration() > 5*time.Millisecond {
+		t.Fatalf("setter ran at %v, want nearly immediately with yield", partnerRan)
+	}
+}
+
+func TestTaskExitReleasesCPU(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	var second sim.Time
+	c.Spawn("one", func(tk *Task) {
+		tk.Compute(time.Millisecond)
+	})
+	c.Spawn("two", func(tk *Task) {
+		tk.Compute(time.Millisecond)
+		second = tk.Now()
+	})
+	k.Run()
+	if second == 0 {
+		t.Fatal("second task never ran")
+	}
+	if k.Live() != 0 {
+		t.Fatalf("live procs = %d", k.Live())
+	}
+}
+
+func TestManyTasksAllComplete(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, "cpu0", fastCfg())
+	done := 0
+	for i := 0; i < 25; i++ {
+		c.Spawn("t", func(tk *Task) {
+			for j := 0; j < 10; j++ {
+				tk.Compute(time.Millisecond)
+				tk.Yield()
+			}
+			done++
+		})
+	}
+	k.Run()
+	if done != 25 {
+		t.Fatalf("done = %d, want 25", done)
+	}
+}
+
+func TestUserBusyAccountingExact(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := fastCfg()
+	cfg.Quantum = 7 * time.Millisecond // force many preemptions
+	c := New(k, "cpu0", cfg)
+	total := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		d := time.Duration(i+1) * 3 * time.Millisecond
+		total += d
+		c.Spawn("t", func(tk *Task) { tk.Compute(d) })
+	}
+	// Interleave kernel work to exercise retiming.
+	for i := 1; i <= 10; i++ {
+		c.KernelWork(500*time.Microsecond, func() {})
+		k.After(time.Duration(i)*4*time.Millisecond, func() {
+			c.KernelWork(500*time.Microsecond, func() {})
+		})
+	}
+	k.Run()
+	if c.Stats().UserBusy != total {
+		t.Fatalf("UserBusy = %v, want exactly %v", c.Stats().UserBusy, total)
+	}
+}

@@ -1,0 +1,204 @@
+// Package stats provides the small formatting helpers the Mirage
+// command-line tools use to print tables and series in a stable,
+// paper-like layout.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table renders rows with aligned columns. Rows are added as cells;
+// the first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table {
+	t := &Table{}
+	t.rows = append(t.rows, header)
+	return t
+}
+
+// Row appends a data row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			out[i] = v.Round(10 * time.Microsecond).String()
+		default:
+			out[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, out)
+}
+
+// WriteTo prints the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var total int64
+	line := func(s string) error {
+		n, err := fmt.Fprintln(w, s)
+		total += int64(n)
+		return err
+	}
+	for ri, r := range t.rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		if err := line(strings.TrimRight(b.String(), " ")); err != nil {
+			return total, err
+		}
+		if ri == 0 {
+			var u strings.Builder
+			for i := range r {
+				if i > 0 {
+					u.WriteString("  ")
+				}
+				u.WriteString(strings.Repeat("-", widths[i]))
+			}
+			if err := line(u.String()); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// Pct formats measured against a reference value as "x (y% of paper)".
+func Pct(measured, paper float64) string {
+	if paper == 0 {
+		return fmt.Sprintf("%.1f", measured)
+	}
+	return fmt.Sprintf("%.1f (%.0f%% of paper %.1f)", measured, 100*measured/paper, paper)
+}
+
+// Ratio renders a/b with a guard for zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// Histogram is a fixed-bucket latency histogram with power-of-two-ish
+// duration buckets, for fault/operation latency distributions.
+type Histogram struct {
+	bounds []time.Duration
+	counts []int
+	total  int
+	sum    time.Duration
+	max    time.Duration
+}
+
+// NewLatencyHistogram covers 1 ms .. ~4 s in doubling buckets.
+func NewLatencyHistogram() *Histogram {
+	var bounds []time.Duration
+	for d := time.Millisecond; d <= 4*time.Second; d *= 2 {
+		bounds = append(bounds, d)
+	}
+	return &Histogram{bounds: bounds, counts: make([]int, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return h.total }
+
+// Mean returns the average sample (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1),
+// resolved to bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	want := int(q * float64(h.total))
+	if want < 1 {
+		want = 1
+	}
+	acc := 0
+	for i, c := range h.counts {
+		acc += c
+		if acc >= want {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// WriteTo prints an ASCII rendering of non-empty buckets.
+func (h *Histogram) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		label := "+inf"
+		if i < len(h.bounds) {
+			label = "≤" + h.bounds[i].String()
+		}
+		bar := strings.Repeat("#", 1+c*40/h.total)
+		n, err := fmt.Fprintf(w, "%10s  %6d  %s\n", label, c, bar)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,240 @@
+// Package trace implements the library-site reference-string log of
+// paper §9.0 and the user-level analyses the paper envisions being
+// built on it (page heat, inter-request intervals, and a process/page
+// migration advisor).
+//
+// The library logs every page request it receives: the memory location
+// (segment and page), a timestamp, the requesting site and process
+// identifier, and the access mode. As the paper notes, references from
+// sites that already hold valid copies never reach the library and so
+// are not recorded — the log captures protocol-visible demand, not raw
+// access counts.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Entry is one logged page request.
+type Entry struct {
+	T     time.Duration // arrival time at the library
+	Seg   int32
+	Page  int32
+	Site  int32
+	Pid   int32
+	Write bool
+}
+
+// Recorder receives log entries; the protocol engine calls Record for
+// every request the library processes.
+type Recorder interface {
+	Record(Entry)
+}
+
+// Log is an in-memory Recorder.
+type Log struct {
+	entries []Entry
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Record appends an entry.
+func (l *Log) Record(e Entry) { l.entries = append(l.entries, e) }
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Entries returns the log contents in arrival order. The slice is the
+// log's backing store; callers must not modify it.
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Reset discards all entries.
+func (l *Log) Reset() { l.entries = l.entries[:0] }
+
+// WriteTo writes the log in the textual interchange format (one entry
+// per line: time-ns seg page site pid mode).
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, e := range l.entries {
+		mode := "r"
+		if e.Write {
+			mode = "w"
+		}
+		n, err := fmt.Fprintf(bw, "%d %d %d %d %d %s\n",
+			e.T.Nanoseconds(), e.Seg, e.Page, e.Site, e.Pid, mode)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadLog parses the textual format written by WriteTo.
+func ReadLog(r io.Reader) (*Log, error) {
+	l := NewLog()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ns int64
+		var e Entry
+		var mode string
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %d %s",
+			&ns, &e.Seg, &e.Page, &e.Site, &e.Pid, &mode); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e.T = time.Duration(ns)
+		switch mode {
+		case "r":
+		case "w":
+			e.Write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad mode %q", line, mode)
+		}
+		l.Record(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// PageKey identifies a page across segments.
+type PageKey struct {
+	Seg  int32
+	Page int32
+}
+
+// PageHeat summarizes demand for one page.
+type PageHeat struct {
+	Key        PageKey
+	Requests   int
+	Reads      int
+	Writes     int
+	Sites      int           // distinct requesting sites
+	MeanGap    time.Duration // mean inter-request interval (0 if <2 requests)
+	MinGap     time.Duration
+	FirstT     time.Duration
+	LastT      time.Duration
+	BySite     map[int32]int
+	DominantSite  int32   // site with the most requests
+	DominantShare float64 // its fraction of requests
+}
+
+// Heat computes per-page demand summaries, hottest first (by request
+// count, ties by key).
+func Heat(l *Log) []PageHeat {
+	acc := map[PageKey]*PageHeat{}
+	last := map[PageKey]time.Duration{}
+	for _, e := range l.entries {
+		k := PageKey{e.Seg, e.Page}
+		h := acc[k]
+		if h == nil {
+			h = &PageHeat{Key: k, BySite: map[int32]int{}, FirstT: e.T, MinGap: -1}
+			acc[k] = h
+		} else {
+			gap := e.T - last[k]
+			h.MeanGap += gap // accumulate; divide later
+			if h.MinGap < 0 || gap < h.MinGap {
+				h.MinGap = gap
+			}
+		}
+		last[k] = e.T
+		h.Requests++
+		if e.Write {
+			h.Writes++
+		} else {
+			h.Reads++
+		}
+		h.BySite[e.Site]++
+		h.LastT = e.T
+	}
+	out := make([]PageHeat, 0, len(acc))
+	for _, h := range acc {
+		if h.Requests > 1 {
+			h.MeanGap /= time.Duration(h.Requests - 1)
+		}
+		if h.MinGap < 0 {
+			h.MinGap = 0
+		}
+		h.Sites = len(h.BySite)
+		best, bestN := int32(-1), -1
+		for s, n := range h.BySite {
+			if n > bestN || (n == bestN && s < best) {
+				best, bestN = s, n
+			}
+		}
+		h.DominantSite = best
+		h.DominantShare = float64(bestN) / float64(h.Requests)
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Requests != out[j].Requests {
+			return out[i].Requests > out[j].Requests
+		}
+		if out[i].Key.Seg != out[j].Key.Seg {
+			return out[i].Key.Seg < out[j].Key.Seg
+		}
+		return out[i].Key.Page < out[j].Key.Page
+	})
+	return out
+}
+
+// Advice is a migration recommendation for one page: the paper §9.0
+// envisions a user-level process analyzing reference strings "as the
+// basis for an automatic process migration facility".
+type Advice struct {
+	Key    PageKey
+	Target int32  // site whose processes dominate demand for this page
+	Share  float64
+	Reason string
+}
+
+// AdviseMigration recommends, for every page whose demand is dominated
+// by a single remote-heavy site (share >= threshold and at least
+// minRequests requests), colocating the page's users — i.e. migrating
+// the library/processes toward the dominant site.
+func AdviseMigration(l *Log, threshold float64, minRequests int) []Advice {
+	var out []Advice
+	for _, h := range Heat(l) {
+		if h.Requests < minRequests || h.Sites < 2 {
+			continue
+		}
+		if h.DominantShare >= threshold {
+			out = append(out, Advice{
+				Key:    h.Key,
+				Target: h.DominantSite,
+				Share:  h.DominantShare,
+				Reason: fmt.Sprintf("site %d issues %.0f%% of %d requests", h.DominantSite, h.DominantShare*100, h.Requests),
+			})
+		}
+	}
+	return out
+}
+
+// SuggestDelta proposes a per-page Δ from the observed inter-request
+// gap: pages re-requested faster than the page-transfer time are
+// thrashing and deserve a window about as long as the mean gap (§8.0's
+// "contention" side guidance); pages with slow demand get Δ=0.
+func SuggestDelta(h PageHeat, transferCost time.Duration) time.Duration {
+	if h.Requests < 3 || h.MeanGap == 0 {
+		return 0
+	}
+	if h.MeanGap < 4*transferCost {
+		// Hot page: grant roughly the observed locality interval.
+		return h.MeanGap
+	}
+	return 0
+}

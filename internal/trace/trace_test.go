@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func entry(ms int, seg, page, site, pid int32, w bool) Entry {
+	return Entry{T: time.Duration(ms) * time.Millisecond, Seg: seg, Page: page, Site: site, Pid: pid, Write: w}
+}
+
+func TestLogRecordAndReset(t *testing.T) {
+	l := NewLog()
+	l.Record(entry(1, 0, 0, 1, 100, false))
+	l.Record(entry(2, 0, 0, 2, 200, true))
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Entries()[1].Site != 2 || !l.Entries()[1].Write {
+		t.Fatalf("entry = %+v", l.Entries()[1])
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Record(entry(1, 3, 7, 0, 41, false))
+	l.Record(entry(5, 3, 7, 1, 42, true))
+	l.Record(entry(9, 4, 0, 2, 43, false))
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Entries(), l.Entries()) {
+		t.Fatalf("round trip: %+v vs %+v", got.Entries(), l.Entries())
+	}
+}
+
+func TestReadLogSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1000000 0 1 2 3 r\n"
+	l, err := ReadLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 || l.Entries()[0].Page != 1 {
+		t.Fatalf("entries = %+v", l.Entries())
+	}
+}
+
+func TestReadLogBadLine(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := ReadLog(strings.NewReader("1 2 3 4 5 x\n")); err == nil {
+		t.Fatal("expected bad-mode error")
+	}
+}
+
+func TestHeatCountsAndGaps(t *testing.T) {
+	l := NewLog()
+	l.Record(entry(0, 1, 0, 0, 1, false))
+	l.Record(entry(10, 1, 0, 1, 2, true))
+	l.Record(entry(30, 1, 0, 1, 2, true))
+	l.Record(entry(100, 1, 1, 0, 1, false))
+	hs := Heat(l)
+	if len(hs) != 2 {
+		t.Fatalf("pages = %d", len(hs))
+	}
+	h := hs[0] // hottest first: page 0 with 3 requests
+	if h.Key != (PageKey{1, 0}) || h.Requests != 3 || h.Reads != 1 || h.Writes != 2 {
+		t.Fatalf("heat = %+v", h)
+	}
+	if h.Sites != 2 {
+		t.Fatalf("sites = %d", h.Sites)
+	}
+	if h.MeanGap != 15*time.Millisecond {
+		t.Fatalf("mean gap = %v", h.MeanGap)
+	}
+	if h.MinGap != 10*time.Millisecond {
+		t.Fatalf("min gap = %v", h.MinGap)
+	}
+	if h.DominantSite != 1 || h.DominantShare < 0.66 || h.DominantShare > 0.67 {
+		t.Fatalf("dominant = %d %.2f", h.DominantSite, h.DominantShare)
+	}
+	// Single-request page: zero gaps.
+	if hs[1].MeanGap != 0 || hs[1].MinGap != 0 {
+		t.Fatalf("single-request gaps = %+v", hs[1])
+	}
+}
+
+func TestAdviseMigration(t *testing.T) {
+	l := NewLog()
+	// Page (1,0): site 2 dominates with 4/5 of requests from 2 sites.
+	for i := 0; i < 4; i++ {
+		l.Record(entry(i*10, 1, 0, 2, 9, true))
+	}
+	l.Record(entry(50, 1, 0, 0, 3, false))
+	// Page (1,1): only one site requests — no advice (nothing to migrate).
+	for i := 0; i < 10; i++ {
+		l.Record(entry(i, 1, 1, 0, 3, false))
+	}
+	adv := AdviseMigration(l, 0.75, 3)
+	if len(adv) != 1 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	if adv[0].Key != (PageKey{1, 0}) || adv[0].Target != 2 {
+		t.Fatalf("advice = %+v", adv[0])
+	}
+	if adv[0].Reason == "" {
+		t.Fatal("advice needs a reason")
+	}
+}
+
+func TestAdviseMigrationThresholds(t *testing.T) {
+	l := NewLog()
+	l.Record(entry(0, 1, 0, 0, 1, false))
+	l.Record(entry(1, 1, 0, 1, 1, false))
+	// Even split: 50% share, below a 0.75 threshold.
+	if adv := AdviseMigration(l, 0.75, 2); len(adv) != 0 {
+		t.Fatalf("advice = %+v", adv)
+	}
+	// minRequests filters low-traffic pages.
+	if adv := AdviseMigration(l, 0.4, 5); len(adv) != 0 {
+		t.Fatalf("advice = %+v", adv)
+	}
+}
+
+func TestSuggestDelta(t *testing.T) {
+	transfer := 27 * time.Millisecond
+	hot := PageHeat{Requests: 10, MeanGap: 40 * time.Millisecond}
+	if d := SuggestDelta(hot, transfer); d != 40*time.Millisecond {
+		t.Fatalf("hot page Δ = %v", d)
+	}
+	cold := PageHeat{Requests: 10, MeanGap: time.Second}
+	if d := SuggestDelta(cold, transfer); d != 0 {
+		t.Fatalf("cold page Δ = %v", d)
+	}
+	sparse := PageHeat{Requests: 2, MeanGap: time.Millisecond}
+	if d := SuggestDelta(sparse, transfer); d != 0 {
+		t.Fatalf("sparse page Δ = %v", d)
+	}
+}
+
+// Property: text round trip preserves arbitrary logs.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		for i := 0; i < int(n%64); i++ {
+			l.Record(Entry{
+				T:     time.Duration(rng.Int63n(1 << 40)),
+				Seg:   rng.Int31n(100),
+				Page:  rng.Int31n(256),
+				Site:  rng.Int31n(64),
+				Pid:   rng.Int31(),
+				Write: rng.Intn(2) == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := l.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadLog(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != l.Len() {
+			return false
+		}
+		return reflect.DeepEqual(got.Entries(), l.Entries()) || (l.Len() == 0 && got.Len() == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Heat request counts always sum to the log length, and
+// reads+writes == requests per page.
+func TestQuickHeatConsistency(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		tm := time.Duration(0)
+		for i := 0; i < int(n); i++ {
+			tm += time.Duration(rng.Intn(1000)) * time.Microsecond
+			l.Record(Entry{T: tm, Seg: rng.Int31n(2), Page: rng.Int31n(4), Site: rng.Int31n(3), Write: rng.Intn(2) == 0})
+		}
+		total := 0
+		for _, h := range Heat(l) {
+			if h.Reads+h.Writes != h.Requests {
+				return false
+			}
+			if h.DominantShare < 0 || h.DominantShare > 1 {
+				return false
+			}
+			total += h.Requests
+		}
+		return total == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

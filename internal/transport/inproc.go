@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"mirage/internal/wire"
+)
+
+// InprocMesh connects n sites within one process. Each site owns an
+// unbounded FIFO inbox drained by a dedicated delivery goroutine, so
+// senders never block and per-sender order is preserved (the inbox is
+// globally FIFO, which is stronger).
+type InprocMesh struct {
+	inboxes []*inbox
+}
+
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []item
+	closed bool
+	done   chan struct{}
+}
+
+type item struct {
+	m *wire.Msg
+}
+
+// NewInprocMesh creates the mesh and starts delivery goroutines; the
+// handler for site i receives every message addressed to it.
+func NewInprocMesh(handlers []Handler) *InprocMesh {
+	m := &InprocMesh{}
+	for i := range handlers {
+		ib := &inbox{done: make(chan struct{})}
+		ib.cond = sync.NewCond(&ib.mu)
+		m.inboxes = append(m.inboxes, ib)
+		go ib.drain(handlers[i])
+	}
+	return m
+}
+
+// Site returns a Transport bound to the given sender site.
+func (m *InprocMesh) Site(i int) Transport { return inprocPort{m: m} }
+
+type inprocPort struct {
+	m *InprocMesh
+}
+
+func (p inprocPort) Send(to int, msg *wire.Msg) error {
+	if to < 0 || to >= len(p.m.inboxes) {
+		return fmt.Errorf("transport: site %d out of range", to)
+	}
+	ib := p.m.inboxes[to]
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return errClosed
+	}
+	ib.queue = append(ib.queue, item{m: msg})
+	ib.cond.Signal()
+	return nil
+}
+
+func (p inprocPort) Close() error { return p.m.Close() }
+
+// Close stops all delivery goroutines after their queues drain.
+func (m *InprocMesh) Close() error {
+	for _, ib := range m.inboxes {
+		ib.mu.Lock()
+		if !ib.closed {
+			ib.closed = true
+			ib.cond.Signal()
+		}
+		ib.mu.Unlock()
+	}
+	for _, ib := range m.inboxes {
+		<-ib.done
+	}
+	return nil
+}
+
+func (ib *inbox) drain(h Handler) {
+	defer close(ib.done)
+	for {
+		ib.mu.Lock()
+		for len(ib.queue) == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if len(ib.queue) == 0 && ib.closed {
+			ib.mu.Unlock()
+			return
+		}
+		batch := ib.queue
+		ib.queue = nil
+		ib.mu.Unlock()
+		for _, it := range batch {
+			h(it.m)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mirage/internal/wire"
+)
+
+// TCPMesh carries the Mirage wire protocol over real TCP sockets: one
+// listener per site and one outbound connection per (sender, receiver)
+// pair, established lazily and kept open — the Locus virtual-circuit
+// discipline. Frames are the wire binary encoding prefixed by the
+// sender's handshake (once per connection); TCP's ordering gives the
+// per-circuit FIFO the protocol assumes.
+//
+// The mesh is for sites within one OS (typically loopback): the
+// control plane (segment naming) stays in-process, as noted in
+// DESIGN.md; the data plane is genuinely on the wire.
+type TCPMesh struct {
+	addrs    []string
+	handler  Handler
+	site     int
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*tcpConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// NewTCPSite starts a listener for one site at addr (use "127.0.0.1:0"
+// to pick a free port) and returns the mesh half for that site. After
+// all sites are created, call SetPeers with every site's address (in
+// site order) on each mesh.
+func NewTCPSite(site int, addr string, h Handler) (*TCPMesh, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &TCPMesh{
+		site:     site,
+		handler:  h,
+		listener: l,
+		conns:    make(map[int]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
+	}
+	m.wg.Add(1)
+	go m.accept()
+	return m, nil
+}
+
+// Addr returns the listener's address for distribution to peers.
+func (m *TCPMesh) Addr() string { return m.listener.Addr().String() }
+
+// SetPeers supplies every site's listen address, indexed by site ID.
+func (m *TCPMesh) SetPeers(addrs []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addrs = append([]string(nil), addrs...)
+}
+
+func (m *TCPMesh) accept() {
+	defer m.wg.Done()
+	for {
+		c, err := m.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			c.Close()
+			return
+		}
+		m.inbound[c] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.serve(c)
+	}
+}
+
+// serve reads frames from one inbound connection and delivers them.
+func (m *TCPMesh) serve(c net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		c.Close()
+		m.mu.Lock()
+		delete(m.inbound, c)
+		m.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > wire.MaxData+1024 {
+			return // corrupt stream
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return
+		}
+		msg, _, err := wire.Decode(buf)
+		if err != nil {
+			return
+		}
+		m.handler(&msg)
+	}
+}
+
+// Send implements Transport.
+func (m *TCPMesh) Send(to int, msg *wire.Msg) error {
+	if to == m.site {
+		// Loopback stays off the wire but keeps FIFO with itself.
+		m.handler(msg)
+		return nil
+	}
+	conn, err := m.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := wire.Encode(nil, msg)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if _, err := conn.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := conn.w.Write(frame); err != nil {
+		return err
+	}
+	return conn.w.Flush()
+}
+
+func (m *TCPMesh) conn(to int) (*tcpConn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	if c, ok := m.conns[to]; ok {
+		return c, nil
+	}
+	if to < 0 || to >= len(m.addrs) {
+		return nil, fmt.Errorf("transport: no address for site %d", to)
+	}
+	c, err := net.Dial("tcp", m.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
+	}
+	tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
+	m.conns[to] = tc
+	return tc, nil
+}
+
+// Close shuts the listener and all connections.
+func (m *TCPMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := m.conns
+	m.conns = map[int]*tcpConn{}
+	inbound := make([]net.Conn, 0, len(m.inbound))
+	for c := range m.inbound {
+		inbound = append(inbound, c)
+	}
+	m.mu.Unlock()
+	m.listener.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	m.wg.Wait()
+	return nil
+}

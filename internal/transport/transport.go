@@ -1,0 +1,31 @@
+// Package transport provides the live-mode message fabrics for the
+// Mirage DSM: an in-process mesh for single-address-space clusters and
+// a TCP mesh carrying the wire format over real sockets. Both deliver
+// *wire.Msg values to a per-site handler, preserving per-sender FIFO
+// order — the virtual-circuit guarantee the protocol assumes from
+// Locus (§7.1).
+package transport
+
+import (
+	"fmt"
+
+	"mirage/internal/wire"
+)
+
+// Handler receives delivered messages for a site. Implementations call
+// it from a single delivery goroutine per site: handlers never race
+// with themselves.
+type Handler func(m *wire.Msg)
+
+// Transport sends protocol messages between sites.
+type Transport interface {
+	// Send queues m for delivery to site `to`. It must not block on
+	// the receiver's processing. Loopback (to == own site) is
+	// delivered like any other message.
+	Send(to int, m *wire.Msg) error
+	// Close tears the fabric down; subsequent Sends fail.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var errClosed = fmt.Errorf("transport: closed")

@@ -1,0 +1,134 @@
+// Package vaxmodel centralizes the timing model calibrated from the
+// Mirage paper (Fleisch & Popek 1989). The prototype ran on VAX 11/750s
+// under Locus over 10 Mbit Ethernet; every constant here is traceable
+// to a measurement or derivation in the paper (section references in
+// the comments). All simulated costs are expressed in these terms so
+// that changing the machine model is a one-file edit.
+package vaxmodel
+
+import "time"
+
+// Page and segment geometry (§6.2).
+const (
+	// PageSize is the hardware page size used as the unit of coherence.
+	PageSize = 512
+	// MaxSegmentBytes is the largest segment allowed in the paper's
+	// intersection of VAX memory configurations.
+	MaxSegmentBytes = 128 * 1024
+)
+
+// Network cost model (Table 3, §7.1).
+//
+// A message's elapsed cost is charged in two halves: transmission
+// elapsed at the sender and reception elapsed at the receiver, each
+// covering protocol-layer processing and the network interface. Short
+// (bufferless) messages cost 3.2 ms per side; a 1024-byte page message
+// costs 7.5 ms per side. Between those, cost grows linearly with the
+// payload: 12.9 ms measured for a short round trip (2×3.2 + 2×3.2 =
+// 12.8 in the model) and 21.5 ms for 1 KB out, short back (7.5+7.5 +
+// 3.2+3.2 = 21.4).
+const (
+	// ShortSideElapsed is the per-side elapsed time of a short message.
+	ShortSideElapsed = 3200 * time.Microsecond
+	// PageSideElapsed is the per-side elapsed time of a 1024-byte message.
+	PageSideElapsed = 7500 * time.Microsecond
+	// pageMsgBytes is the payload size PageSideElapsed corresponds to.
+	pageMsgBytes = 1024
+)
+
+// MsgSideElapsed returns the per-side (tx or rx) elapsed cost of a
+// message carrying payload bytes of data. Zero-payload messages are
+// "short" messages; cost grows linearly to PageSideElapsed at 1024
+// bytes and continues linearly beyond.
+func MsgSideElapsed(payload int) time.Duration {
+	if payload <= 0 {
+		return ShortSideElapsed
+	}
+	extra := time.Duration(payload) * (PageSideElapsed - ShortSideElapsed) / pageMsgBytes
+	return ShortSideElapsed + extra
+}
+
+// CPU-side protocol costs (Table 3, §7.2).
+const (
+	// ReadRequestService is the using site's CPU time to form and issue
+	// a page request ("Using Site Read Request", 2.5 ms).
+	ReadRequestService = 2500 * time.Microsecond
+	// ServerRequestService is the library/server process time to handle
+	// one incoming request (1.5 ms).
+	ServerRequestService = 1500 * time.Microsecond
+	// PageInstallService is the processing time to install a received
+	// page (map frame, copy, unmap — "Processing Time", 2 ms).
+	PageInstallService = 2 * time.Millisecond
+	// InputInterruptService is the CPU charge at a site for servicing
+	// one incoming protocol interrupt that installs, invalidates or
+	// upgrades a page (§7.2 adds 9 ms for 6 such interrupts).
+	InputInterruptService = 1500 * time.Microsecond
+	// LocalFaultService is the cost of a fault serviced entirely by a
+	// colocated library (§7.2 adds 3 ms for two local faults).
+	LocalFaultService = 1500 * time.Microsecond
+)
+
+// Scheduler model (§6.2, §7.2, §7.3).
+const (
+	// ClockTick is the scheduling clock period (60 Hz line clock).
+	ClockTick = 16667 * time.Microsecond
+	// QuantumTicks is the scheduling quantum. §7.3: the Figure 7 curves
+	// intersect at Δ=6, "the system's scheduling quantum".
+	QuantumTicks = 6
+	// RescheduleLatency approximates the delay before a process that
+	// yielded the CPU runs again on a lightly loaded site. §7.3 observed
+	// "sleeps of 33 msecs" (two ticks) per yield.
+	RescheduleLatency = 2 * ClockTick
+	// ContextSwitch is the dispatch cost of switching to a process,
+	// excluding the per-page shared memory remap charge. Calibrated so
+	// the single-site yield() ping-pong runs at the paper's ~166
+	// cycles/second (§7.2).
+	ContextSwitch = 1400 * time.Microsecond
+	// YieldCost is the CPU cost of the yield() system call itself
+	// (trap, scheduler pass), part of the same calibration.
+	YieldCost = 1500 * time.Microsecond
+	// KernelPreemptGrid is the period of the scheduler passes at which
+	// a woken kernel server process preempts a computing user process
+	// of interactive priority (three clock ticks; calibrated against
+	// §7.3's yield-vs-busy-wait gap at Δ=2).
+	KernelPreemptGrid = 3 * ClockTick
+	// HogThreshold is the recent-usage fraction beyond which a process
+	// counts as compute-bound: its decayed UNIX priority lets kernel
+	// servers preempt it at the next clock tick.
+	HogThreshold = 0.55
+	// PriorityDecayTau is the horizon of the p_cpu usage decay.
+	PriorityDecayTau = time.Second
+	// RemapPerPage is the lazy remap cost per shared page on dispatch
+	// (§6.2: measured 106–125 µs per 512-byte page).
+	RemapPerPage = 115 * time.Microsecond
+	// RemapPerPageMin and RemapPerPageMax bound the measured range.
+	RemapPerPageMin = 106 * time.Microsecond
+	RemapPerPageMax = 125 * time.Microsecond
+)
+
+// Quantum is the scheduling quantum as a duration.
+const Quantum = QuantumTicks * ClockTick
+
+// Application instruction costs (§8.0).
+const (
+	// SharedMemInstruction is the cost of one shared-memory read or
+	// write instruction in the representative application's loop (the
+	// loop does a read to test the termination condition and a write to
+	// decrement, so one iteration costs two of these). Back-derived
+	// from Figure 8's 115,000 read-write instructions/second peak at
+	// Δ=600 ms with ~94% page utilization.
+	SharedMemInstruction = 8200 * time.Nanosecond
+	// SpinCheck is the cost of one busy-wait poll iteration (read,
+	// compare, branch) in the worst-case application's wait loops.
+	SpinCheck = 4 * time.Microsecond
+	// LocalInstruction approximates a simple local VAX instruction.
+	LocalInstruction = 1300 * time.Nanosecond
+)
+
+// Invalidation policy thresholds (§7.1).
+const (
+	// ShortRTT is the measured short-message round trip; the paper notes
+	// an invalidation with less than this remaining in Δ should be
+	// honored rather than retried (the prototype did not implement it).
+	ShortRTT = 12900 * time.Microsecond
+)

@@ -1,0 +1,113 @@
+package vaxmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// The model must reproduce the paper's §7.1 component measurements.
+
+func TestShortRoundTripMatchesPaper(t *testing.T) {
+	// Short message out and short reply back: 4 message sides.
+	rtt := 4 * MsgSideElapsed(0)
+	if rtt < 12*time.Millisecond || rtt > 13*time.Millisecond {
+		t.Fatalf("short RTT model = %v, paper measured 12.9 ms", rtt)
+	}
+}
+
+func TestPagePlusShortReplyMatchesPaper(t *testing.T) {
+	// 1024-byte message out, short response back: 21.5 ms measured.
+	e := 2*MsgSideElapsed(1024) + 2*MsgSideElapsed(0)
+	if e < 21*time.Millisecond || e > 22*time.Millisecond {
+		t.Fatalf("1KB+short model = %v, paper measured 21.5 ms", e)
+	}
+}
+
+func TestMsgSideElapsedMonotonic(t *testing.T) {
+	prev := time.Duration(0)
+	for _, n := range []int{0, 1, 64, 128, 512, 1024, 2048} {
+		e := MsgSideElapsed(n)
+		if e < prev {
+			t.Fatalf("MsgSideElapsed not monotonic at %d: %v < %v", n, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMsgSideElapsedEndpoints(t *testing.T) {
+	if MsgSideElapsed(0) != ShortSideElapsed {
+		t.Fatalf("short side = %v", MsgSideElapsed(0))
+	}
+	if MsgSideElapsed(1024) != PageSideElapsed {
+		t.Fatalf("1024B side = %v", MsgSideElapsed(1024))
+	}
+	if MsgSideElapsed(-5) != ShortSideElapsed {
+		t.Fatalf("negative payload should be short: %v", MsgSideElapsed(-5))
+	}
+}
+
+func TestTable3TotalElapsed(t *testing.T) {
+	// Table 3: total elapsed time to obtain an in-memory page remotely
+	// is 27.5 ms: 2.5 request service + 3.2 request tx + 3.2 request rx
+	// + 1.5 server + 7.5 page tx + 7.5 page rx + 2 install.
+	total := ReadRequestService +
+		MsgSideElapsed(0) + MsgSideElapsed(0) +
+		ServerRequestService +
+		MsgSideElapsed(1024) + MsgSideElapsed(1024) +
+		PageInstallService
+	if total < 27*time.Millisecond || total > 28*time.Millisecond {
+		t.Fatalf("Table 3 total = %v, paper reports 27.5 ms", total)
+	}
+}
+
+func TestQuantumIsSixTicks(t *testing.T) {
+	if Quantum != 6*ClockTick {
+		t.Fatalf("Quantum = %v, want 6 ticks", Quantum)
+	}
+	// ~100 ms on a 60 Hz clock.
+	if Quantum < 99*time.Millisecond || Quantum > 101*time.Millisecond {
+		t.Fatalf("Quantum = %v, want ~100 ms", Quantum)
+	}
+}
+
+func TestRescheduleLatencyIs33ms(t *testing.T) {
+	if RescheduleLatency < 33*time.Millisecond || RescheduleLatency > 34*time.Millisecond {
+		t.Fatalf("RescheduleLatency = %v, paper observed 33 ms sleeps", RescheduleLatency)
+	}
+}
+
+func TestRemapWithinMeasuredRange(t *testing.T) {
+	if RemapPerPage < RemapPerPageMin || RemapPerPage > RemapPerPageMax {
+		t.Fatalf("RemapPerPage %v outside measured range [%v,%v]",
+			RemapPerPage, RemapPerPageMin, RemapPerPageMax)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	if PageSize != 512 {
+		t.Fatalf("PageSize = %d, paper uses 512", PageSize)
+	}
+	if MaxSegmentBytes%PageSize != 0 {
+		t.Fatal("MaxSegmentBytes must be page aligned")
+	}
+	if MaxSegmentBytes/PageSize != 256 {
+		t.Fatalf("128K segment should be 256 pages, got %d", MaxSegmentBytes/PageSize)
+	}
+}
+
+func TestWorstCaseRawCommunicationBound(t *testing.T) {
+	// §7.2: "With 2 sites, 9 messages are sent for one cycle... Three of
+	// these messages are large responses (1024 bytes); the other 6 are
+	// short. Based on the component timings, the raw communications
+	// component should be 84 msec."
+	raw := 3*2*MsgSideElapsed(1024) + 6*2*MsgSideElapsed(0)
+	if raw < 83*time.Millisecond || raw > 85*time.Millisecond {
+		t.Fatalf("raw comm for 9 msgs (3 large) = %v, paper derives 84 ms", raw)
+	}
+	// Adding 12.5 ms (5 request interrupts at 2.5), 9 ms (6 input
+	// interrupts at 1.5) and 3 ms (2 local faults) gives ~109 ms.
+	total := raw + 5*ReadRequestService + 6*InputInterruptService + 2*LocalFaultService
+	if total < 107*time.Millisecond || total > 111*time.Millisecond {
+		t.Fatalf("cycle bound = %v, paper derives 109 ms", total)
+	}
+}

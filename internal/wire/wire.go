@@ -1,0 +1,241 @@
+// Package wire defines the Mirage DSM protocol messages and a compact
+// binary encoding for them.
+//
+// The same message set drives both execution modes: in the simulator
+// and the in-process transport, Msg values travel by reference; the
+// TCP transport marshals them with the codec in this package. The
+// message kinds correspond to the protocol events of paper §6.1
+// (requests to the library, invalidation traffic between the library
+// and the clock site, direct page delivery from the storing site to
+// the requester) plus the bookkeeping the paper leaves implicit
+// (completion notifications that let the library serialize per-page
+// grant cycles, and release traffic for detach).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+const (
+	// KInvalid is the zero Kind; it never appears on the wire.
+	KInvalid Kind = iota
+
+	// KReadReq asks the library for a readable copy (requester -> library).
+	KReadReq
+	// KWriteReq asks the library for a writable copy (requester -> library).
+	KWriteReq
+	// KAddReader tells the clock site to add readers and ship them
+	// copies; no clock check, no invalidation (library -> clock,
+	// Table 1 row Readers/Readers). Readers holds the batch.
+	KAddReader
+	// KInval orders the clock site to run an invalidation cycle after
+	// the Δ check (library -> clock). Mode says what the new holders
+	// get; Req is the new writer (write mode); Readers is the batch of
+	// new readers (read mode); Upgrade marks a new writer that already
+	// holds a read copy; Delta is the window to install with the grant.
+	KInval
+	// KBusy reports an unexpired window; Remaining says how long the
+	// library must wait before retrying (clock -> library).
+	KBusy
+	// KInvalOrder tells one reader to discard its copy (clock -> reader).
+	KInvalOrder
+	// KInvalAck confirms a discarded copy (reader -> clock).
+	KInvalAck
+	// KPageSend carries page contents to a new holder (storing site ->
+	// requester; the large 1024-byte-class message). Mode is the
+	// granted protection, Delta the installed window.
+	KPageSend
+	// KUpgradeGrant upgrades a reader to writer in place, with no page
+	// copy — optimization 1 (clock -> requester).
+	KUpgradeGrant
+	// KInstalled tells the library a grant landed, completing (its
+	// share of) the cycle (new holder -> library).
+	KInstalled
+	// KAlready tells a requester the library found its request already
+	// satisfied (library -> requester); the requester rechecks and
+	// refaults if it still needs something.
+	KAlready
+	// KReleaseRead returns a read copy to the library on detach
+	// (holder -> library).
+	KReleaseRead
+	// KReleaseWrite returns the writable copy, carrying the page data
+	// (holder -> library; large).
+	KReleaseWrite
+	// KClockHandoff appoints a new clock site among the remaining
+	// readers, carrying the reader mask (library -> new clock).
+	KClockHandoff
+	// KReleaseDone confirms the library processed a page release; the
+	// departing site may now discard the page (library -> holder).
+	KReleaseDone
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	KInvalid:      "invalid",
+	KReadReq:      "read-req",
+	KWriteReq:     "write-req",
+	KAddReader:    "add-reader",
+	KInval:        "inval",
+	KBusy:         "busy",
+	KInvalOrder:   "inval-order",
+	KInvalAck:     "inval-ack",
+	KPageSend:     "page-send",
+	KUpgradeGrant: "upgrade-grant",
+	KInstalled:    "installed",
+	KAlready:      "already",
+	KReleaseRead:  "release-read",
+	KReleaseWrite: "release-write",
+	KClockHandoff: "clock-handoff",
+	KReleaseDone:  "release-done",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Mode is the access mode carried in requests and grants.
+type Mode uint8
+
+const (
+	// Read asks for / grants a readable copy.
+	Read Mode = iota
+	// Write asks for / grants the writable copy.
+	Write
+)
+
+func (m Mode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Msg is one protocol message. Unused fields are zero.
+type Msg struct {
+	Kind      Kind
+	Mode      Mode
+	Upgrade   bool
+	Seg       int32  // segment id
+	Page      int32  // page number within the segment
+	From      int32  // sending site
+	Req       int32  // requester / new writer site
+	Pid       int32  // requesting process id (for the library's reference log, §9.0)
+	Readers   uint64 // site mask: read batch or reader bookkeeping
+	Delta     time.Duration
+	Remaining time.Duration
+	Data      []byte // page contents for KPageSend / KReleaseWrite
+}
+
+// NetBufBytes is the Locus network buffer size. The prototype's pages
+// are 512 bytes but page-carrying messages travel in full 1024-byte
+// buffers (§7.1 measures "a network message with a 1024 byte buffer"
+// and §7.2 counts page responses as 1024-byte messages).
+const NetBufBytes = 1024
+
+// Size returns the wire size used by the network cost model: data-free
+// control messages are "short"; data-carrying messages occupy at least
+// one full network buffer.
+func (m *Msg) Size() int {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	if len(m.Data) < NetBufBytes {
+		return NetBufBytes
+	}
+	return len(m.Data)
+}
+
+// String renders a compact human-readable form for logs and tests.
+func (m *Msg) String() string {
+	s := fmt.Sprintf("%v seg=%d page=%d from=%d", m.Kind, m.Seg, m.Page, m.From)
+	switch m.Kind {
+	case KInval:
+		s += fmt.Sprintf(" mode=%v req=%d readers=%b upgrade=%v Δ=%v", m.Mode, m.Req, m.Readers, m.Upgrade, m.Delta)
+	case KBusy:
+		s += fmt.Sprintf(" remaining=%v", m.Remaining)
+	case KPageSend:
+		s += fmt.Sprintf(" mode=%v Δ=%v bytes=%d", m.Mode, m.Delta, len(m.Data))
+	case KAddReader, KClockHandoff:
+		s += fmt.Sprintf(" readers=%b", m.Readers)
+	}
+	return s
+}
+
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 // 51 bytes
+
+// Errors returned by Decode.
+var (
+	ErrShort   = errors.New("wire: truncated message")
+	ErrBadKind = errors.New("wire: unknown message kind")
+	ErrBadLen  = errors.New("wire: implausible data length")
+)
+
+// MaxData bounds the data field a decoder will accept (a page; the
+// prototype's pages are 512 bytes, the cost model's reference page
+// message is 1 KB — 64 KB is a generous safety bound).
+const MaxData = 64 * 1024
+
+// Encode appends the binary form of m to buf and returns the result.
+func Encode(buf []byte, m *Msg) []byte {
+	var h [headerLen]byte
+	h[0] = byte(m.Kind)
+	h[1] = byte(m.Mode)
+	if m.Upgrade {
+		h[2] = 1
+	}
+	binary.BigEndian.PutUint32(h[3:], uint32(m.Seg))
+	binary.BigEndian.PutUint32(h[7:], uint32(m.Page))
+	binary.BigEndian.PutUint32(h[11:], uint32(m.From))
+	binary.BigEndian.PutUint32(h[15:], uint32(m.Req))
+	binary.BigEndian.PutUint32(h[19:], uint32(m.Pid))
+	binary.BigEndian.PutUint64(h[23:], m.Readers)
+	binary.BigEndian.PutUint64(h[31:], uint64(m.Delta))
+	binary.BigEndian.PutUint64(h[39:], uint64(m.Remaining))
+	binary.BigEndian.PutUint32(h[47:], uint32(len(m.Data)))
+	buf = append(buf, h[:]...)
+	return append(buf, m.Data...)
+}
+
+// Decode parses one message from buf, returning the message and the
+// number of bytes consumed. Data is aliased into buf, not copied.
+func Decode(buf []byte) (Msg, int, error) {
+	if len(buf) < headerLen {
+		return Msg{}, 0, ErrShort
+	}
+	var m Msg
+	m.Kind = Kind(buf[0])
+	if m.Kind == KInvalid || m.Kind >= kindCount {
+		return Msg{}, 0, ErrBadKind
+	}
+	m.Mode = Mode(buf[1])
+	m.Upgrade = buf[2] != 0
+	m.Seg = int32(binary.BigEndian.Uint32(buf[3:]))
+	m.Page = int32(binary.BigEndian.Uint32(buf[7:]))
+	m.From = int32(binary.BigEndian.Uint32(buf[11:]))
+	m.Req = int32(binary.BigEndian.Uint32(buf[15:]))
+	m.Pid = int32(binary.BigEndian.Uint32(buf[19:]))
+	m.Readers = binary.BigEndian.Uint64(buf[23:])
+	m.Delta = time.Duration(binary.BigEndian.Uint64(buf[31:]))
+	m.Remaining = time.Duration(binary.BigEndian.Uint64(buf[39:]))
+	n := int(binary.BigEndian.Uint32(buf[47:]))
+	if n < 0 || n > MaxData {
+		return Msg{}, 0, ErrBadLen
+	}
+	if len(buf) < headerLen+n {
+		return Msg{}, 0, ErrShort
+	}
+	if n > 0 {
+		m.Data = buf[headerLen : headerLen+n]
+	}
+	return m, headerLen + n, nil
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Msg{
+		Kind:      KInval,
+		Mode:      Write,
+		Upgrade:   true,
+		Seg:       3,
+		Page:      17,
+		From:      1,
+		Req:       2,
+		Readers:   0b1011,
+		Delta:     33 * time.Millisecond,
+		Remaining: 5 * time.Millisecond,
+	}
+	buf := Encode(nil, &m)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestEncodeDecodeWithData(t *testing.T) {
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m := Msg{Kind: KPageSend, Mode: Read, Seg: 1, Page: 2, From: 0, Delta: time.Second, Data: data}
+	buf := Encode(nil, &m)
+	got, n, err := Decode(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v n=%d", err, n)
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("data corrupted")
+	}
+	if m.Size() != NetBufBytes {
+		t.Fatalf("Size = %d, want one full network buffer", m.Size())
+	}
+	short := Msg{Kind: KReadReq}
+	if short.Size() != 0 {
+		t.Fatalf("short Size = %d", short.Size())
+	}
+	big := Msg{Kind: KPageSend, Data: make([]byte, 2000)}
+	if big.Size() != 2000 {
+		t.Fatalf("big Size = %d", big.Size())
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := Msg{Kind: KReadReq, Seg: 1}
+	buf := Encode(nil, &m)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := Decode(buf[:i]); !errors.Is(err, ErrShort) {
+			t.Fatalf("truncated at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestDecodeTruncatedData(t *testing.T) {
+	m := Msg{Kind: KPageSend, Data: make([]byte, 100)}
+	buf := Encode(nil, &m)
+	if _, _, err := Decode(buf[:len(buf)-1]); !errors.Is(err, ErrShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	m := Msg{Kind: KReadReq}
+	buf := Encode(nil, &m)
+	buf[0] = 0 // KInvalid
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v", err)
+	}
+	buf[0] = byte(kindCount)
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeBadLength(t *testing.T) {
+	m := Msg{Kind: KPageSend, Data: []byte{1}}
+	buf := Encode(nil, &m)
+	buf[47] = 0xFF // huge length
+	buf[48] = 0xFF
+	buf[49] = 0xFF
+	buf[50] = 0xFF
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadLen) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Multiple messages back to back decode in sequence.
+	var buf []byte
+	msgs := []Msg{
+		{Kind: KReadReq, Seg: 1, Page: 2, From: 3},
+		{Kind: KPageSend, Seg: 1, Page: 2, Data: []byte{9, 8, 7}},
+		{Kind: KBusy, Remaining: time.Millisecond},
+	}
+	for i := range msgs {
+		buf = Encode(buf, &msgs[i])
+	}
+	off := 0
+	for i := range msgs {
+		got, n, err := Decode(buf[off:])
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		off += n
+		if got.Kind != msgs[i].Kind {
+			t.Fatalf("msg %d kind = %v", i, got.Kind)
+		}
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d", off, len(buf))
+	}
+}
+
+func TestNegativeFieldsSurvive(t *testing.T) {
+	m := Msg{Kind: KInstalled, Seg: -1, Page: -2, From: -3, Req: -4}
+	got, _, err := Decode(Encode(nil, &m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seg != -1 || got.Page != -2 || got.From != -3 || got.Req != -4 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestKindAndModeStrings(t *testing.T) {
+	if KPageSend.String() != "page-send" || KReadReq.String() != "read-req" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestMsgStringCoversKinds(t *testing.T) {
+	for k := KReadReq; k < kindCount; k++ {
+		m := Msg{Kind: k, Data: []byte{1}}
+		if m.String() == "" {
+			t.Fatalf("empty String for %v", k)
+		}
+	}
+}
+
+func randMsg(rng *rand.Rand) Msg {
+	m := Msg{
+		Kind:      Kind(1 + rng.Intn(int(kindCount)-1)),
+		Mode:      Mode(rng.Intn(2)),
+		Upgrade:   rng.Intn(2) == 0,
+		Seg:       rng.Int31(),
+		Page:      rng.Int31(),
+		From:      rng.Int31(),
+		Req:       rng.Int31(),
+		Pid:       rng.Int31(),
+		Readers:   rng.Uint64(),
+		Delta:     time.Duration(rng.Int63n(1 << 40)),
+		Remaining: time.Duration(rng.Int63n(1 << 40)),
+	}
+	if rng.Intn(2) == 0 {
+		m.Data = make([]byte, rng.Intn(2048))
+		rng.Read(m.Data)
+	}
+	return m
+}
+
+// Property: Encode/Decode round-trips arbitrary messages exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMsg(rng)
+		got, n, err := Decode(Encode(nil, &m))
+		if err != nil {
+			return false
+		}
+		if n != headerLen+len(m.Data) {
+			return false
+		}
+		if len(m.Data) == 0 {
+			m.Data = nil
+		}
+		if !bytes.Equal(got.Data, m.Data) {
+			return false
+		}
+		got.Data, m.Data = nil, nil
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestQuickDecodeNoPanic(t *testing.T) {
+	f := func(buf []byte) bool {
+		_, n, err := Decode(buf)
+		if err == nil && (n < headerLen || n > len(buf)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

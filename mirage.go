@@ -1,0 +1,135 @@
+// Package mirage is a coherent distributed shared memory library: a
+// reimplementation of the Mirage DSM design (Fleisch & Popek, 1989) as
+// an embeddable Go runtime.
+//
+// Mirage gives a set of sites a System V style shared-memory interface
+// with sequential coherence at page granularity: a write to an address
+// is visible to every subsequent read of that address regardless of
+// site. One site per segment — the creating site — acts as the
+// *library site*, queueing and sequentially processing page requests;
+// the site holding a page's most recent copy is its *clock site* and
+// enforces the page's *time window Δ*, during which the holder cannot
+// be interrupted. Δ is the design's tuning knob: it trades per-page
+// fairness against thrashing control (large Δ ameliorates ping-ponging
+// at the cost of latency for competing sites).
+//
+// The package runs the protocol engine over real transports
+// (in-process by default, TCP optionally) and real time. The same
+// engine also powers the calibrated VAX/Ethernet simulator used by the
+// benchmarks that reproduce the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md at the repository root.
+//
+// Basic use:
+//
+//	c, _ := mirage.NewCluster(3, mirage.Options{Delta: 20 * time.Millisecond})
+//	defer c.Close()
+//
+//	s0 := c.Site(0)
+//	id, _ := s0.Shmget(0x1234, 8192, mirage.Create, 0o600)
+//	seg, _ := s0.Attach(id, false)
+//	seg.SetUint32(0, 42)
+//
+//	s1 := c.Site(1)
+//	remote, _ := s1.Attach(id, false)
+//	v, _ := remote.Uint32(0) // 42, fetched coherently
+package mirage
+
+import (
+	"errors"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/mem"
+	"mirage/internal/vaxmodel"
+)
+
+// Key names a segment cluster-wide (System V key_t).
+type Key = mem.Key
+
+// SegID identifies a created segment (System V shmid).
+type SegID = mem.SegID
+
+// IPCPrivate always creates a fresh private segment.
+const IPCPrivate = mem.IPCPrivate
+
+// Shmget flags.
+const (
+	// Create makes the segment if the key is unbound.
+	Create = mem.Create
+	// Exclusive with Create fails if the key exists.
+	Exclusive = mem.Exclusive
+)
+
+// InvalPolicy selects the clock site's handling of an invalidation
+// arriving inside an unexpired window.
+type InvalPolicy = core.InvalPolicy
+
+// Invalidation policies (see the paper's §7.1: the prototype retried;
+// the other two are its proposed optimizations).
+const (
+	PolicyRetry      = core.PolicyRetry
+	PolicyHonorClose = core.PolicyHonorClose
+	PolicyQueue      = core.PolicyQueue
+)
+
+// Errors surfaced by segment handles.
+var (
+	// ErrDetached reports use of a detached or destroyed segment.
+	ErrDetached = errors.New("mirage: segment detached")
+	// ErrBounds reports an access outside the segment.
+	ErrBounds = errors.New("mirage: access outside segment")
+	// ErrReadOnly reports a write through a read-only attach.
+	ErrReadOnly = errors.New("mirage: write to read-only attach")
+	// ErrClosed reports use of a closed cluster.
+	ErrClosed = errors.New("mirage: cluster closed")
+)
+
+// Re-exported registry errors, so callers can errors.Is against the
+// System V failure modes.
+var (
+	ErrExists     = mem.ErrExists
+	ErrNotFound   = mem.ErrNotFound
+	ErrInvalid    = mem.ErrInvalid
+	ErrPermission = mem.ErrPermission
+	ErrRemoved    = mem.ErrRemoved
+)
+
+// Options configure a cluster. The zero value is usable.
+type Options struct {
+	// PageSize is the coherence unit in bytes; default 512, the
+	// paper's page size. Must be positive if set.
+	PageSize int
+	// Delta is the default time window granted with each page. Zero
+	// means pages may be invalidated as soon as a competing request is
+	// processed. Per-page windows can be changed later with
+	// Site.SetSegmentDelta.
+	Delta time.Duration
+	// MaxSegmentBytes bounds segment size; default 16 MiB.
+	MaxSegmentBytes int
+	// Policy is the invalidation policy; default PolicyRetry (the
+	// paper prototype's two-attempt behaviour). PolicyQueue is usually
+	// the better choice for new deployments.
+	Policy InvalPolicy
+	// TCP, when true, carries protocol traffic over TCP loopback
+	// sockets instead of in-process channels. The cluster still shares
+	// one segment name space (the control plane is in-process); the
+	// data plane — page transfers, invalidations, window traffic — is
+	// on the wire.
+	TCP bool
+	// TCPAddr is the listen address pattern for TCP mode; default
+	// "127.0.0.1:0" (ephemeral ports).
+	TCPAddr string
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = vaxmodel.PageSize
+	}
+	if o.MaxSegmentBytes == 0 {
+		o.MaxSegmentBytes = 16 << 20
+	}
+	if o.TCPAddr == "" {
+		o.TCPAddr = "127.0.0.1:0"
+	}
+	return o
+}

@@ -1,0 +1,180 @@
+package mirage
+
+import (
+	"fmt"
+	"sync"
+
+	"mirage/internal/mem"
+	"mirage/internal/mmu"
+)
+
+// Segment is one attach of a shared segment at a site: the handle
+// through which processes read and write coherently shared memory.
+// Handles are safe for concurrent use by multiple goroutines (they
+// model colocated processes sharing the site's page frames).
+type Segment struct {
+	site     *Site
+	seg      *mem.Segment
+	readonly bool
+	pid      int32
+
+	mu       sync.Mutex
+	detached bool
+}
+
+// Size returns the segment size in bytes.
+func (g *Segment) Size() int { return g.seg.Size }
+
+// ID returns the segment id.
+func (g *Segment) ID() SegID { return g.seg.ID }
+
+// PageSize returns the coherence unit.
+func (g *Segment) PageSize() int { return g.seg.PageSize }
+
+// Detach unmaps the segment (System V shmdt). The cluster-wide last
+// detach destroys the segment.
+func (g *Segment) Detach() error {
+	g.mu.Lock()
+	if g.detached {
+		g.mu.Unlock()
+		return ErrDetached
+	}
+	g.detached = true
+	g.mu.Unlock()
+	return g.site.detach(g.seg.ID)
+}
+
+// access runs fn over each page-aligned chunk of [off, off+n) with the
+// page held in the needed mode, faulting through the protocol engine
+// as required. fn runs on the site's actor loop, serialized with the
+// protocol, so the frame bytes are stable for its duration.
+func (g *Segment) access(off, n int, write bool, fn func(frame []byte, frameOff, bufOff, k int)) error {
+	g.mu.Lock()
+	detached := g.detached
+	g.mu.Unlock()
+	if detached {
+		return ErrDetached
+	}
+	if write && g.readonly {
+		return ErrReadOnly
+	}
+	if off < 0 || n < 0 || off+n > g.seg.Size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrBounds, off, off+n, g.seg.Size)
+	}
+	nd := g.site.node
+	segID := int32(g.seg.ID)
+	ps := g.seg.PageSize
+	bufOff := 0
+	for n > 0 {
+		page := off / ps
+		fo := off % ps
+		k := ps - fo
+		if k > n {
+			k = n
+		}
+		for {
+			if g.seg.Removed() {
+				return ErrDetached
+			}
+			done := make(chan bool, 1)
+			fo, bufOff, k := fo, bufOff, k
+			ok := nd.post(func() {
+				if nd.eng.CheckAccess(segID, int32(page), write) == mmu.NoFault {
+					fn(nd.eng.Frame(segID, int32(page)), fo, bufOff, k)
+					done <- true
+					return
+				}
+				nd.eng.Fault(segID, int32(page), write, g.pid, func() {
+					select {
+					case done <- false:
+					default: // already woken once for this attempt
+					}
+				})
+			})
+			if !ok {
+				return ErrDetached
+			}
+			if <-done {
+				break
+			}
+		}
+		off += k
+		bufOff += k
+		n -= k
+	}
+	return nil
+}
+
+// ReadAt copies len(b) bytes from the segment at off into b,
+// coherently: the bytes reflect the latest completed writes anywhere
+// in the cluster.
+func (g *Segment) ReadAt(b []byte, off int) error {
+	return g.access(off, len(b), false, func(frame []byte, fo, bo, k int) {
+		copy(b[bo:bo+k], frame[fo:fo+k])
+	})
+}
+
+// WriteAt copies b into the segment at off.
+func (g *Segment) WriteAt(b []byte, off int) error {
+	return g.access(off, len(b), true, func(frame []byte, fo, bo, k int) {
+		copy(frame[fo:fo+k], b[bo:bo+k])
+	})
+}
+
+// Uint32 reads a 32-bit little-endian word.
+func (g *Segment) Uint32(off int) (uint32, error) {
+	var v uint32
+	err := g.access(off, 4, false, func(frame []byte, fo, bo, k int) {
+		for i := 0; i < k; i++ {
+			v |= uint32(frame[fo+i]) << (8 * uint(bo+i))
+		}
+	})
+	return v, err
+}
+
+// SetUint32 writes a 32-bit little-endian word.
+func (g *Segment) SetUint32(off int, v uint32) error {
+	return g.access(off, 4, true, func(frame []byte, fo, bo, k int) {
+		for i := 0; i < k; i++ {
+			frame[fo+i] = byte(v >> (8 * uint(bo+i)))
+		}
+	})
+}
+
+// AddUint32 atomically (with respect to the page's single-writer
+// protocol state) adds delta to the word at off and returns the new
+// value. The word must not span pages.
+func (g *Segment) AddUint32(off int, delta uint32) (uint32, error) {
+	var out uint32
+	err := g.access(off, 4, true, func(frame []byte, fo, bo, k int) {
+		if k != 4 {
+			panic("mirage: AddUint32 across a page boundary")
+		}
+		v := uint32(frame[fo]) | uint32(frame[fo+1])<<8 | uint32(frame[fo+2])<<16 | uint32(frame[fo+3])<<24
+		v += delta
+		frame[fo] = byte(v)
+		frame[fo+1] = byte(v >> 8)
+		frame[fo+2] = byte(v >> 16)
+		frame[fo+3] = byte(v >> 24)
+		out = v
+	})
+	return out, err
+}
+
+// TestAndSet sets the byte at off to 1 under write access and returns
+// its previous value: the interlocked instruction §7.2 studies (and
+// recommends against for cross-site spinlocks).
+func (g *Segment) TestAndSet(off int) (old byte, err error) {
+	err = g.access(off, 1, true, func(frame []byte, fo, bo, k int) {
+		old = frame[fo]
+		frame[fo] = 1
+	})
+	return old, err
+}
+
+// Clear zeroes the byte at off under write access (spinlock release).
+func (g *Segment) Clear(off int) error {
+	return g.access(off, 1, true, func(frame []byte, fo, bo, k int) {
+		frame[fo] = 0
+	})
+}
