@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/mem"
 	"mirage/internal/transport"
@@ -19,6 +20,8 @@ type Cluster struct {
 
 	// closer tears down the shared transport fabric.
 	closer func() error
+	// chaos is the fault injector when Options.Chaos is set.
+	chaos *chaos.Injector
 
 	mu       sync.Mutex
 	registry *mem.Registry
@@ -36,6 +39,9 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if opts.PageSize < 0 {
 		return nil, fmt.Errorf("mirage: negative page size")
 	}
+	if opts.Chaos != nil && opts.Reliability == nil {
+		return nil, fmt.Errorf("mirage: Options.Chaos requires Options.Reliability")
+	}
 	c := &Cluster{
 		opts:     opts,
 		registry: mem.NewRegistry(opts.PageSize, opts.Delta, opts.MaxSegmentBytes),
@@ -47,8 +53,9 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	}
 
 	engOpts := core.Options{
-		Policy: opts.Policy,
-		Costs:  &core.Costs{}, // live nodes run at native speed
+		Policy:      opts.Policy,
+		Costs:       &core.Costs{}, // live nodes run at native speed
+		Reliability: opts.Reliability,
 	}
 	if opts.TCP {
 		var meshes []*transport.TCPMesh
@@ -90,6 +97,14 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		c.closer = mesh.Close
 	}
 
+	if opts.Chaos != nil {
+		c.chaos = chaos.New(*opts.Chaos)
+		now := func() time.Duration { return time.Since(start) }
+		for i, nd := range c.nodes {
+			nd.tr = chaos.WrapTransport(nd.tr, c.chaos, i, now)
+		}
+	}
+
 	for i, nd := range c.nodes {
 		nd.eng = core.New(nodeEnv{nd}, engOpts)
 		nd.startLoop()
@@ -103,6 +118,15 @@ func (c *Cluster) Sites() int { return len(c.sites) }
 
 // Site returns site i's interface.
 func (c *Cluster) Site(i int) *Site { return c.sites[i] }
+
+// ChaosStats returns the fault injector's counters. ok is false when
+// the cluster runs without a chaos plan.
+func (c *Cluster) ChaosStats() (stats ChaosStats, ok bool) {
+	if c.chaos == nil {
+		return ChaosStats{}, false
+	}
+	return c.chaos.Stats(), true
+}
 
 // Close shuts the cluster down: transports first (unblocking engines),
 // then the actor loops. Outstanding accessors return ErrDetached.

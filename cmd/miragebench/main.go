@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiment ids (e1..e11) or 'all'")
+	which := flag.String("e", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	dur := flag.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := flag.Bool("quick", false, "short runs for a smoke pass")
 	flag.Parse()
@@ -195,6 +195,24 @@ func main() {
 		t.Row("sharing the CPU with a hog", int(r.LoadedInsn))
 		t.WriteTo(os.Stdout)
 		fmt.Printf("effective window lost to load: %.0f%% — §9.0: \"The load would decrease the effective Δ\"\n", 100*r.EffectiveDrop)
+	})
+
+	run("e14", "beyond the paper: resilience under injected faults", func() {
+		perSite := 20
+		if *quick {
+			perSite = 8
+		}
+		r := exp.FaultSweep(perSite, []float64{0, 2, 5, 10})
+		t := stats.NewTable("drop rate", "completed", "elapsed", "retransmits", "dup-drops", "gave-up", "net drops")
+		for _, p := range r.Points {
+			t.Row(fmt.Sprintf("%.0f%%", p.DropPct), p.Completed, p.Elapsed.Round(time.Millisecond),
+				p.Retransmits, p.DupDrops, p.GaveUp, p.NetDropped)
+		}
+		t.Row("crash 0.1–0.4s", r.Crash.Completed, r.Crash.Elapsed.Round(time.Millisecond),
+			r.Crash.Retransmits, r.Crash.DupDrops, r.Crash.GaveUp, r.Crash.NetDropped)
+		t.WriteTo(os.Stdout)
+		fmt.Printf("same-seed replay identical: %v\n", r.ReplayMatches)
+		fmt.Println("paper: §10.0 \"the current implementation does not tolerate site failures\"; this sweep measures the cost of fixing that")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

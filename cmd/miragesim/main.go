@@ -13,6 +13,7 @@
 //	miragesim -workload pingpong -delta 33ms -dur 30s -yield=false
 //	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/refs.log
 //	miragesim -workload readers -sites 4 -delta 100ms
+//	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/exp"
 	"mirage/internal/ipc"
@@ -39,6 +41,8 @@ func main() {
 	yield := flag.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
 	policy := flag.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
 	tracePath := flag.String("trace", "", "write the library's reference log to this file")
+	chaosSpec := flag.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
+	chaosSeed := flag.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	flag.Parse()
 
 	var pol core.InvalPolicy
@@ -67,7 +71,20 @@ func main() {
 			log.Fatal("readers needs at least 2 sites")
 		}
 	}
-	c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts})
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		var err error
+		plan, err = chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("bad -chaos plan: %v", err)
+		}
+		if *chaosSeed != 0 {
+			plan.Seed = *chaosSeed
+		}
+		// A lossy fabric needs the ARQ layer; zero value = defaults.
+		opts.Reliability = &core.Reliability{}
+	}
+	c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
 
 	var headline string
 	switch *workload {
@@ -101,6 +118,17 @@ func main() {
 	ns := c.Net.Stats()
 	fmt.Printf("\nnetwork: %d msgs (%d large, %d short), %d bytes, %d loopback\n",
 		ns.Delivered, ns.LargeMsgs, ns.ShortMsgs, ns.Bytes, ns.Loopback)
+
+	if c.Chaos != nil {
+		executed := c.Chaos.Plan()
+		fmt.Printf("\nchaos plan: %s\n%v\n", executed.String(), c.Chaos.Stats())
+		rt := stats.NewTable("site", "retransmits", "dup-drops", "gave-up", "degraded", "stale", "denied")
+		for i := 0; i < c.Sites(); i++ {
+			es := c.Site(i).Eng.Stats()
+			rt.Row(i, es.Retransmits, es.DupDrops, es.GaveUp, es.Degraded, es.Stale, es.Denied)
+		}
+		rt.WriteTo(os.Stdout)
+	}
 
 	if h := c.FaultLatency; h.Count() > 0 {
 		fmt.Printf("\nfault latency: %d faults, mean %v, p50 ≤%v, p99 ≤%v, max %v\n",

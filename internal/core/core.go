@@ -123,6 +123,11 @@ type Options struct {
 	HonorThreshold time.Duration // for PolicyHonorClose; default vaxmodel.ShortRTT
 	Costs          *Costs        // nil means DefaultCosts
 	Tracer         trace.Recorder
+	// Reliability, when non-nil, enables the reliable-delivery layer
+	// and the degraded-grant recovery paths (DESIGN.md §7). nil keeps
+	// the engine byte-identical to the paper reproduction, which
+	// assumes the Locus virtual-circuit guarantees.
+	Reliability *Reliability
 	// TuneDelta, if non-nil, may return a new Δ for a page each time
 	// the library is about to grant it. Mirage ships the routine
 	// disabled (nil), as the paper does.
@@ -151,6 +156,16 @@ type Stats struct {
 	Already        int // requests found already satisfied
 	WindowWait     time.Duration // total time invalidations waited on Δ
 	Dropped        int // messages for unknown segments (post-destroy stragglers)
+
+	// Reliability-layer counters; all zero unless Options.Reliability
+	// is set.
+	Retransmits int // sequenced messages re-sent after an ack timeout
+	DupDrops    int // duplicate deliveries suppressed by the resequencer
+	GaveUp      int // reliable-channel give-up events (peer unreachable)
+	Denied      int // denials received for this site's requests
+	Degraded    int // accessor-visible degraded-grant errors raised
+	Stale       int // out-of-cycle or inconsistent messages tolerated
+	Lost        int // pages zero-filled after unrecoverable copy loss
 }
 
 type pageKey struct {
@@ -180,6 +195,10 @@ type segNode struct {
 	// meanwhile.
 	releasing       bool
 	releasesPending int
+
+	// Degraded-grant state (reliability layer only).
+	pageErr  map[int32]error  // page -> pending error for the accessor
+	reqTimer map[int32]func() // page -> end-to-end request deadline cancel
 }
 
 // Engine is one site's Mirage protocol instance.
@@ -190,6 +209,8 @@ type Engine struct {
 	site  int
 	segs  map[int32]*segNode
 	pend  map[pageKey]*pendingInval // clock-side invalidation collections
+	rel   *rel                      // nil unless Options.Reliability set
+	stash map[pageKey][]byte        // clock-side frames captured per grant cycle
 	stats Stats
 }
 
@@ -202,14 +223,19 @@ func New(env Env, opt Options) *Engine {
 	if opt.Costs != nil {
 		costs = *opt.Costs
 	}
-	return &Engine{
+	e := &Engine{
 		env:   env,
 		opt:   opt,
 		costs: costs,
 		site:  env.Site(),
 		segs:  make(map[int32]*segNode),
 		pend:  make(map[pageKey]*pendingInval),
+		stash: make(map[pageKey][]byte),
 	}
+	if opt.Reliability != nil {
+		e.rel = newRel(e, *opt.Reliability)
+	}
+	return e
 }
 
 // Site returns the engine's site ID.
@@ -280,9 +306,18 @@ func (e *Engine) DestroySegment(id int32) {
 		}
 		delete(sn.waiters, p)
 	}
+	for _, cancel := range sn.reqTimer {
+		cancel()
+	}
+	sn.reqTimer = nil
 	for k := range e.pend {
 		if k.seg == id {
 			delete(e.pend, k)
+		}
+	}
+	for k := range e.stash {
+		if k.seg == id {
+			delete(e.stash, k)
 		}
 	}
 }
@@ -367,7 +402,8 @@ func (e *Engine) Fault(seg int32, page int32, write bool, pid int32, wake func()
 		Pid:  pid,
 	}
 	lib := sn.meta.Library
-	e.env.Exec(cost, func() { e.env.Send(lib, m) })
+	e.armReqTimer(sn, seg, page)
+	e.env.Exec(cost, func() { e.transmit(lib, m) })
 }
 
 // wakeWaiters wakes every blocked fault on a page; each rechecks its
@@ -404,7 +440,25 @@ func (e *Engine) Deliver(payload any) {
 			cost = e.costs.Input
 		}
 	}
-	e.env.Exec(cost, func() { e.handle(m) })
+	e.env.Exec(cost, func() { e.receive(m) })
+}
+
+// receive routes an incoming message through the reliability layer
+// when one is configured: acks retire pending retransmissions,
+// sequenced messages are deduplicated and resequenced, and everything
+// else (loopback, unsequenced) goes straight to the handlers.
+func (e *Engine) receive(m *wire.Msg) {
+	if e.rel != nil {
+		if m.Kind == wire.KAck {
+			e.rel.onAck(m)
+			return
+		}
+		if m.Seq != 0 && int(m.From) != e.site {
+			e.rel.onSequenced(m)
+			return
+		}
+	}
+	e.handle(m)
 }
 
 func (e *Engine) handle(m *wire.Msg) {
@@ -435,6 +489,10 @@ func (e *Engine) handle(m *wire.Msg) {
 		sn.m.Aux(int(m.Page)).ReaderMask = mmu.SiteMask(m.Readers)
 	case wire.KReleaseDone:
 		e.handleReleaseDone(sn, m)
+	case wire.KDenied:
+		e.handleDenied(sn, m)
+	case wire.KGrantFail:
+		e.handleGrantFail(sn, m)
 	default:
 		panic(fmt.Sprintf("core: site %d: unhandled %v", e.site, m))
 	}
@@ -443,5 +501,15 @@ func (e *Engine) handle(m *wire.Msg) {
 // send is a small helper stamping the From field.
 func (e *Engine) send(to int, m *wire.Msg) {
 	m.From = int32(e.site)
-	e.env.Send(to, m)
+	e.transmit(to, m)
+}
+
+// transmit hands a message to the reliability layer when one is
+// configured; loopback always bypasses it (a site reaches itself).
+func (e *Engine) transmit(to int, m *wire.Msg) {
+	if e.rel == nil || to == e.site {
+		e.env.Send(to, m)
+		return
+	}
+	e.rel.send(to, m)
 }

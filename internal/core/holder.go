@@ -14,6 +14,10 @@ type pendingInval struct {
 	m        *wire.Msg // the KInval being honored
 	needAcks int
 	data     []byte // page contents captured for the new writer
+	// Rollback state for the reliability layer: the reader mask as it
+	// stood before the cycle, and which targets have discarded so far.
+	origMask mmu.SiteMask
+	acked    mmu.SiteMask
 }
 
 // CheckAccess classifies a local access for the ipc layer. Pages of a
@@ -46,7 +50,19 @@ func (e *Engine) Frame(seg, page int32) []byte {
 func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 	p := int(m.Page)
 	if !sn.m.Present(p) {
-		panic(fmt.Sprintf("core: site %d: add-reader for absent page: %v", e.site, m))
+		if e.rel == nil {
+			panic(fmt.Sprintf("core: site %d: add-reader for absent page: %v", e.site, m))
+		}
+		// Our copy is gone (dropped by an earlier degraded grant); the
+		// library's record is behind. Fail the whole batch back.
+		e.stats.Stale++
+		mmu.SiteMask(m.Readers).ForEach(func(s int) {
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KGrantFail, Mode: wire.Read, Seg: m.Seg, Page: m.Page,
+				Req: int32(s), Cycle: m.Cycle,
+			})
+		})
+		return
 	}
 	a := sn.m.Aux(p)
 	a.ReaderMask |= mmu.SiteMask(m.Readers)
@@ -59,6 +75,7 @@ func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 			Seg:   m.Seg,
 			Page:  m.Page,
 			Delta: m.Delta,
+			Cycle: m.Cycle,
 			Data:  append([]byte(nil), data...),
 		})
 	})
@@ -72,7 +89,16 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 	e.stats.InvalsReceived++
 	p := int(m.Page)
 	if !sn.m.Present(p) {
-		panic(fmt.Sprintf("core: site %d: inval for absent page: %v", e.site, m))
+		if e.rel == nil {
+			panic(fmt.Sprintf("core: site %d: inval for absent page: %v", e.site, m))
+		}
+		// Clock copy gone: the cycle cannot be honored here.
+		e.stats.Stale++
+		e.send(int(sn.meta.Library), &wire.Msg{
+			Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+			Req: m.Req, Upgrade: m.Upgrade, Cycle: m.Cycle,
+		})
+		return
 	}
 	now := e.env.Now()
 	insider := m.Mode == wire.Write && m.Upgrade && e.opt.SkipInsiderUpgradeCheck
@@ -83,14 +109,14 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 		case PolicyRetry:
 			e.stats.BusyReplies++
 			e.send(int(sn.meta.Library), &wire.Msg{
-				Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem,
+				Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem, Cycle: m.Cycle,
 			})
 			return
 		case PolicyHonorClose:
 			if rem > e.opt.HonorThreshold {
 				e.stats.BusyReplies++
 				e.send(int(sn.meta.Library), &wire.Msg{
-					Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem,
+					Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem, Cycle: m.Cycle,
 				})
 				return
 			}
@@ -120,7 +146,15 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		// (optimization 2: it retains its read copy) and distribute
 		// copies to the new readers. The clock site stays here.
 		if sn.m.Prot(p) != mmu.ReadWrite {
-			panic(fmt.Sprintf("core: site %d: downgrade of non-writable page: %v", e.site, m))
+			if e.rel == nil {
+				panic(fmt.Sprintf("core: site %d: downgrade of non-writable page: %v", e.site, m))
+			}
+			e.stats.Stale++
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+				Req: -1, Cycle: m.Cycle,
+			})
+			return
 		}
 		sn.m.Downgrade(p, now)
 		e.stats.Downgrades++
@@ -136,6 +170,7 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 				Seg:   m.Seg,
 				Page:  m.Page,
 				Delta: m.Delta,
+				Cycle: m.Cycle,
 				Data:  append([]byte(nil), data...),
 			})
 		})
@@ -144,15 +179,15 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 
 	// Write grant: rows Readers/Writer and Writer/Writer. Collect every
 	// readable copy except the new writer's own (upgrade), then grant.
+	origMask := a.ReaderMask
 	targets := a.ReaderMask.Remove(e.site).Remove(int(m.Req))
 	var data []byte
 	if int(m.Req) == e.site && m.Upgrade {
 		// We are both clock site and upgrading requester: keep our copy.
 	} else {
-		old := sn.m.Invalidate(p)
-		if !m.Upgrade {
-			data = old
-		}
+		// The frame is captured even for upgrades (which don't ship it):
+		// it is the rollback/rehome copy should the grant fail.
+		data = sn.m.Invalidate(p)
 	}
 	a.ReaderMask = 0
 	a.Writer = mmu.NoWriter
@@ -161,9 +196,11 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		e.finishWriteGrant(sn, m, data)
 		return
 	}
-	e.pend[pageKey{m.Seg, m.Page}] = &pendingInval{m: m, needAcks: targets.Count(), data: data}
+	e.pend[pageKey{m.Seg, m.Page}] = &pendingInval{
+		m: m, needAcks: targets.Count(), data: data, origMask: origMask,
+	}
 	targets.ForEach(func(s int) {
-		e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page})
+		e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	})
 }
 
@@ -183,16 +220,24 @@ func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
 			e.stats.Upgrades++
 			e.send(int(sn.meta.Library), &wire.Msg{
 				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+				Cycle: m.Cycle,
 			})
 			e.wakeWaiters(sn, m.Page)
 			sn.outW[m.Page] = false
 			sn.outR[m.Page] = false
+			e.reqProgress(sn, m.Page)
 			return
 		}
 		// Optimization 1: no page copy; a notification acknowledges the
-		// write request.
+		// write request. The captured frame is stashed so a failed
+		// delivery (or an upgrade landing on an invalid copy) can still
+		// rehome the page at the library.
+		if e.rel != nil && data != nil {
+			e.stash[pageKey{m.Seg, m.Page}] = data
+		}
 		e.send(req, &wire.Msg{
 			Kind: wire.KUpgradeGrant, Seg: m.Seg, Page: m.Page, Delta: m.Delta,
+			Cycle: m.Cycle,
 		})
 		return
 	}
@@ -206,6 +251,7 @@ func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
 		Seg:   m.Seg,
 		Page:  m.Page,
 		Delta: m.Delta,
+		Cycle: m.Cycle,
 		Data:  data,
 	})
 }
@@ -220,16 +266,21 @@ func (e *Engine) handleInvalOrder(sn *segNode, m *wire.Msg) {
 		a.ReaderMask = 0
 		a.Writer = mmu.NoWriter
 	}
-	e.send(int(m.From), &wire.Msg{Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page})
+	e.send(int(m.From), &wire.Msg{Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 }
 
 // handleInvalAck collects discard confirmations at the clock site.
 func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
 	k := pageKey{m.Seg, m.Page}
 	pi, ok := e.pend[k]
-	if !ok {
+	if !ok || (e.rel != nil && m.Cycle != pi.m.Cycle) {
+		if e.rel != nil {
+			e.stats.Stale++
+			return
+		}
 		panic(fmt.Sprintf("core: site %d: unexpected inval-ack: %v", e.site, m))
 	}
+	pi.acked = pi.acked.Add(int(m.From))
 	pi.needAcks--
 	if pi.needAcks > 0 {
 		return
@@ -263,7 +314,7 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 		a.Writer = mmu.NoWriter
 	}
 	e.send(int(sn.meta.Library), &wire.Msg{
-		Kind: wire.KInstalled, Mode: m.Mode, Seg: m.Seg, Page: m.Page,
+		Kind: wire.KInstalled, Mode: m.Mode, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 	})
 	if m.Mode == wire.Write {
 		sn.outW[m.Page] = false
@@ -271,6 +322,7 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 	} else {
 		sn.outR[m.Page] = false
 	}
+	e.reqProgress(sn, m.Page)
 	e.wakeWaiters(sn, m.Page)
 }
 
@@ -279,7 +331,28 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 	p := int(m.Page)
 	if sn.m.Prot(p) != mmu.ReadOnly {
-		panic(fmt.Sprintf("core: site %d: upgrade grant for %v page: %v", e.site, sn.m.Prot(p), m))
+		if e.rel == nil {
+			panic(fmt.Sprintf("core: site %d: upgrade grant for %v page: %v", e.site, sn.m.Prot(p), m))
+		}
+		if sn.m.Prot(p) == mmu.ReadWrite {
+			// Raced duplicate: we are already the writer; complete the
+			// cycle anyway.
+			e.stats.Stale++
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
+			})
+			return
+		}
+		// Our read copy is gone (dropped by an earlier degraded grant):
+		// the in-place upgrade cannot apply. The clock (the sender)
+		// holds the frame it captured for this cycle; ask it to rehome
+		// the page through the library.
+		e.stats.Stale++
+		e.send(int(m.From), &wire.Msg{
+			Kind: wire.KGrantFail, Mode: wire.Write, Upgrade: true,
+			Seg: m.Seg, Page: m.Page, Req: int32(e.site), Cycle: m.Cycle,
+		})
+		return
 	}
 	now := e.env.Now()
 	sn.m.Upgrade(p, now)
@@ -289,10 +362,11 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 	a.ReaderMask = 0
 	e.stats.Upgrades++
 	e.send(int(sn.meta.Library), &wire.Msg{
-		Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+		Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 	})
 	sn.outW[m.Page] = false
 	sn.outR[m.Page] = false
+	e.reqProgress(sn, m.Page)
 	e.wakeWaiters(sn, m.Page)
 }
 
@@ -303,6 +377,16 @@ func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
 		sn.outW[m.Page] = false
 	} else {
 		sn.outR[m.Page] = false
+	}
+	e.reqProgress(sn, m.Page)
+	if e.rel != nil && m.Mode == wire.Read && !sn.m.Present(int(m.Page)) &&
+		len(sn.waiters[m.Page]) > 0 && !sn.releasing {
+		// The record lists us as a reader but the copy is gone (dropped
+		// by an earlier degraded grant). Shed the stale record entry;
+		// the refault's fresh request, queued behind this correction on
+		// the same circuit, then earns a real grant.
+		e.stats.Stale++
+		e.send(int(sn.meta.Library), &wire.Msg{Kind: wire.KReleaseRead, Seg: m.Seg, Page: m.Page})
 	}
 	e.wakeWaiters(sn, m.Page)
 }

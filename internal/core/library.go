@@ -55,6 +55,10 @@ type libPage struct {
 	pendingInstalls int
 	grant           grantCycle
 	cancelRetry     func()
+	// cycle numbers grant cycles; grants carry it and completions echo
+	// it back, so the reliability layer can discard stragglers from
+	// cycles that were since aborted.
+	cycle uint32
 
 	// Demand statistics feeding the dynamic Δ tuner and the trace
 	// analyses.
@@ -170,7 +174,13 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 		e.libProcess(sn, m.Page)
 
 	case wire.KInstalled:
-		if !p.busy || p.pendingInstalls <= 0 {
+		if !p.busy || p.pendingInstalls <= 0 || m.Cycle != p.cycle {
+			if e.rel != nil {
+				// A completion from an aborted cycle, or a duplicate that
+				// survived give-up: harmless once denial went out.
+				e.stats.Stale++
+				return
+			}
 			panic(fmt.Sprintf("core: site %d: unexpected installed: %v", e.site, m))
 		}
 		p.pendingInstalls--
@@ -180,7 +190,11 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 		}
 
 	case wire.KBusy:
-		if !p.busy || !p.grant.active {
+		if !p.busy || !p.grant.active || m.Cycle != p.cycle {
+			if e.rel != nil {
+				e.stats.Stale++
+				return
+			}
 			panic(fmt.Sprintf("core: site %d: busy with no cycle: %v", e.site, m))
 		}
 		e.stats.Retries++
@@ -290,13 +304,14 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) 
 	delta := e.libTunedDelta(sn, page, false)
 	p.busy = true
 	p.pendingInstalls = batch.Count()
+	p.cycle++
 	if p.writer != mmu.NoWriter {
 		// Downgrade the writer; it becomes (and stays) the clock site.
 		p.grant = grantCycle{
 			active: true, batch: batch, oldWrite: true, oldClock: p.writer,
 			inval: &wire.Msg{
 				Kind: wire.KInval, Mode: wire.Read, Seg: int32(sn.meta.ID), Page: page,
-				Readers: uint64(batch), Delta: delta,
+				Readers: uint64(batch), Delta: delta, Cycle: p.cycle,
 			},
 		}
 		e.send(p.writer, p.grant.inval)
@@ -306,7 +321,7 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) 
 	p.grant = grantCycle{active: true, batch: batch, oldClock: p.clock}
 	e.send(p.clock, &wire.Msg{
 		Kind: wire.KAddReader, Seg: int32(sn.meta.ID), Page: page,
-		Readers: uint64(batch), Delta: delta,
+		Readers: uint64(batch), Delta: delta, Cycle: p.cycle,
 	})
 }
 
@@ -318,11 +333,13 @@ func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
 	upgrade := p.readers.Has(to)
 	p.busy = true
 	p.pendingInstalls = 1
+	p.cycle++
 	p.grant = grantCycle{
 		active: true, write: true, to: to,
 		inval: &wire.Msg{
 			Kind: wire.KInval, Mode: wire.Write, Seg: int32(sn.meta.ID), Page: page,
 			Req: int32(to), Upgrade: upgrade, Readers: uint64(p.readers), Delta: delta,
+			Cycle: p.cycle,
 		},
 	}
 	e.send(p.clock, p.grant.inval)

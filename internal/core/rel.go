@@ -1,0 +1,565 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mirage/internal/mmu"
+	"mirage/internal/wire"
+)
+
+// ErrUnreachable reports a degraded grant: a peer the access depended
+// on stayed unreachable past the retry budget, so the fault was failed
+// back to the accessor instead of blocking forever. The paper (§10.0)
+// deferred this whole problem to Locus virtual circuits; see DESIGN.md
+// §7 for the recovery semantics chosen here.
+var ErrUnreachable = errors.New("core: peer unreachable (degraded grant)")
+
+// Reliability configures the engine's reliable-delivery layer: a
+// per-peer sequenced channel with cumulative acks, duplicate
+// suppression, resequencing, and bounded exponential-backoff
+// retransmission. It restores the Locus virtual-circuit guarantees
+// (§5.0: reliable FIFO delivery) that the protocol state machines
+// assume, over a fabric that may drop, duplicate, reorder or delay —
+// internal/chaos being the resident adversary.
+//
+// Reliability is opt-in (Options.Reliability nil keeps the engine
+// bit-identical to the paper reproduction: no acks, no extra traffic,
+// E1–E5 unchanged).
+type Reliability struct {
+	// AckTimeout is the initial retransmission timeout; it doubles per
+	// attempt up to MaxBackoff. Default 30ms (≈4 short RTTs on the
+	// calibrated network).
+	AckTimeout time.Duration
+	// MaxBackoff caps the doubled timeout. Default 1s.
+	MaxBackoff time.Duration
+	// MaxAttempts is the transmission budget per message (first send
+	// included) before the channel declares the peer unreachable and
+	// fails every in-flight message to it. Default 8.
+	MaxAttempts int
+	// RequestTimeout is the requester-side end-to-end deadline for an
+	// outstanding page request: when it expires with the request still
+	// unsatisfied, the fault is failed back to the accessor with
+	// ErrUnreachable. It is the universal backstop against protocol
+	// hangs the per-message budget cannot see (e.g. a grant stuck
+	// behind a partitioned third party). Default 8s — comfortably past
+	// the give-up horizon of the message budget.
+	RequestTimeout time.Duration
+}
+
+func (r Reliability) withDefaults() Reliability {
+	if r.AckTimeout == 0 {
+		r.AckTimeout = 30 * time.Millisecond
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = time.Second
+	}
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 8
+	}
+	if r.RequestTimeout == 0 {
+		r.RequestTimeout = 8 * time.Second
+	}
+	return r
+}
+
+// relPending is one unacknowledged sequenced message at the sender.
+type relPending struct {
+	m        *wire.Msg
+	attempts int // transmissions so far
+	cancel   func()
+}
+
+// relPeer is the two directions of one peer's channel.
+type relPeer struct {
+	// Sender half: our stream to the peer.
+	nextSeq uint64
+	epoch   uint32
+	pending map[uint64]*relPending
+
+	// Receiver half: the peer's stream to us.
+	rEpoch uint32
+	rNext  uint64 // next expected sequence number
+	hold   map[uint64]*wire.Msg
+}
+
+// rel is an engine's reliability layer.
+type rel struct {
+	e     *Engine
+	opt   Reliability
+	peers map[int]*relPeer
+}
+
+func newRel(e *Engine, opt Reliability) *rel {
+	return &rel{e: e, opt: opt.withDefaults(), peers: make(map[int]*relPeer)}
+}
+
+func (r *rel) peer(site int) *relPeer {
+	p, ok := r.peers[site]
+	if !ok {
+		p = &relPeer{nextSeq: 1, rNext: 1, pending: make(map[uint64]*relPending), hold: make(map[uint64]*wire.Msg)}
+		r.peers[site] = p
+	}
+	return p
+}
+
+// timeout returns the retransmission timeout for the given attempt
+// count (1 = first transmission already made).
+func (r *rel) timeout(attempts int) time.Duration {
+	d := r.opt.AckTimeout
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= r.opt.MaxBackoff {
+			return r.opt.MaxBackoff
+		}
+	}
+	return d
+}
+
+// send stamps m onto the peer's sequenced stream and transmits it,
+// arming the retransmission timer. m is shallow-copied so by-reference
+// transports and retransmissions never observe caller mutation.
+func (r *rel) send(to int, m *wire.Msg) {
+	p := r.peer(to)
+	cp := *m
+	cp.Seq = p.nextSeq
+	cp.Epoch = p.epoch
+	p.nextSeq++
+	pd := &relPending{m: &cp, attempts: 1}
+	p.pending[cp.Seq] = pd
+	r.e.env.Send(to, &cp)
+	r.arm(to, p, pd)
+}
+
+func (r *rel) arm(to int, p *relPeer, pd *relPending) {
+	pd.cancel = r.e.env.After(r.timeout(pd.attempts), func() {
+		// The channel may have moved on (epoch bump) while this timer
+		// was in flight; only act on the live incarnation.
+		if p.pending[pd.m.Seq] != pd || pd.m.Epoch != p.epoch {
+			return
+		}
+		if pd.attempts >= r.opt.MaxAttempts {
+			r.giveUp(to, p)
+			return
+		}
+		pd.attempts++
+		r.e.stats.Retransmits++
+		r.e.env.Send(to, pd.m)
+		r.arm(to, p, pd)
+	})
+}
+
+// giveUp declares the peer unreachable: every in-flight message to it
+// is abandoned, the stream restarts on a new epoch (so the receiver
+// discards zombie retransmissions), and the engine reacts per message
+// through deliveryFailed.
+func (r *rel) giveUp(to int, p *relPeer) {
+	var msgs []*wire.Msg
+	for _, pd := range p.pending {
+		if pd.cancel != nil {
+			pd.cancel()
+		}
+		msgs = append(msgs, pd.m)
+	}
+	p.pending = make(map[uint64]*relPending)
+	p.epoch++
+	p.nextSeq = 1
+	r.e.stats.GaveUp++
+	// React in send order: earlier messages set up state later ones
+	// depend on.
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+	for _, m := range msgs {
+		r.e.deliveryFailed(to, m)
+	}
+}
+
+// onAck retires every pending message up to the cumulative ack.
+func (r *rel) onAck(m *wire.Msg) {
+	p := r.peer(int(m.From))
+	if m.Epoch != p.epoch {
+		return // ack for an abandoned incarnation
+	}
+	for seq, pd := range p.pending {
+		if seq <= m.Seq {
+			if pd.cancel != nil {
+				pd.cancel()
+			}
+			delete(p.pending, seq)
+		}
+	}
+}
+
+// onSequenced accepts one sequenced message from a peer: it
+// deduplicates, resequences (restoring per-circuit FIFO under
+// reordering faults), delivers in order, and acks cumulatively.
+// Out-of-order messages are held unacked so a sender give-up can never
+// strand an acknowledged-but-undelivered message.
+func (r *rel) onSequenced(m *wire.Msg) {
+	from := int(m.From)
+	p := r.peer(from)
+	if m.Epoch != p.rEpoch {
+		if m.Epoch < p.rEpoch {
+			return // zombie from an abandoned incarnation
+		}
+		// The sender gave up and restarted its stream.
+		p.rEpoch = m.Epoch
+		p.rNext = 1
+		p.hold = make(map[uint64]*wire.Msg)
+	}
+	switch {
+	case m.Seq < p.rNext:
+		// Duplicate (retransmission raced the ack, or a chaos dup).
+		r.e.stats.DupDrops++
+		r.ack(from, p)
+	case m.Seq == p.rNext:
+		p.rNext++
+		r.e.handle(m)
+		for {
+			next, ok := p.hold[p.rNext]
+			if !ok {
+				break
+			}
+			delete(p.hold, p.rNext)
+			p.rNext++
+			r.e.handle(next)
+		}
+		r.ack(from, p)
+	default:
+		// Gap: an earlier message is missing (dropped or reordered).
+		// Hold, bounded; the sender keeps retransmitting into the gap.
+		if len(p.hold) < 1024 {
+			p.hold[m.Seq] = m
+		}
+	}
+}
+
+// ack sends the cumulative acknowledgement for everything delivered.
+func (r *rel) ack(to int, p *relPeer) {
+	r.e.env.Send(to, &wire.Msg{
+		Kind: wire.KAck, From: int32(r.e.site), Seq: p.rNext - 1, Epoch: p.rEpoch,
+	})
+}
+
+// deliveryFailed is the engine's reaction to one message the reliable
+// channel could not deliver within its budget. Each message kind has a
+// recovery that keeps the library record consistent with the copies
+// that actually exist and fails blocked accessors instead of hanging
+// them; page data in a failed grant is rehomed at the library, never
+// lost. See DESIGN.md §7.
+func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
+	sn, ok := e.segs[m.Seg]
+	if !ok {
+		e.stats.Dropped++
+		return
+	}
+	switch m.Kind {
+	case wire.KReadReq, wire.KWriteReq:
+		// The library is unreachable: fail the local access.
+		e.failPage(sn, m.Seg, m.Page, fmt.Errorf("%w: site %d (library) lost %v", ErrUnreachable, to, m.Kind))
+
+	case wire.KInval, wire.KAddReader:
+		// The clock site is unreachable: abort the cycle, deny the
+		// requesters, leave the record as it was.
+		e.libAbortCycle(sn, m.Page)
+
+	case wire.KPageSend:
+		if sn.lib != nil && m.Cycle == 0 {
+			return // a rollback refresh copy, not part of a cycle
+		}
+		// A grant could not reach its new holder. Write grants carry
+		// the only current copy: home it at the library. Read grants
+		// just shrink the batch.
+		fail := &wire.Msg{
+			Kind: wire.KGrantFail, Mode: m.Mode, Seg: m.Seg, Page: m.Page,
+			Req: int32(to), Cycle: m.Cycle,
+		}
+		if m.Mode == wire.Write {
+			fail.Data = m.Data
+		}
+		e.send(int(sn.meta.Library), fail)
+
+	case wire.KUpgradeGrant:
+		// The in-place upgrade never reached the requester. The clock
+		// (this site) invalidated its own copy when the cycle was
+		// accepted; the captured frame rehomes at the library.
+		fail := &wire.Msg{
+			Kind: wire.KGrantFail, Mode: wire.Write, Upgrade: true,
+			Seg: m.Seg, Page: m.Page, Req: int32(to), Cycle: m.Cycle,
+			Data: e.stash[pageKey{m.Seg, m.Page}],
+		}
+		e.send(int(sn.meta.Library), fail)
+
+	case wire.KInvalOrder:
+		e.invalOrderFailed(sn, m, to)
+
+	case wire.KReleaseRead, wire.KReleaseWrite:
+		// The library never heard the release; keep the copy and stop
+		// waiting so local accesses work again.
+		if sn.releasesPending > 0 {
+			sn.releasesPending--
+			if sn.releasesPending == 0 {
+				sn.releasing = false
+				for page := range sn.waiters {
+					e.wakeWaiters(sn, page)
+				}
+			}
+		}
+
+	default:
+		// KInstalled, KBusy, KInvalAck, KAlready, KDenied, KGrantFail,
+		// KClockHandoff, KReleaseDone: best-effort notifications. Losing
+		// one can stall the remote end's cycle, which the requester-side
+		// RequestTimeout backstop converts into a degraded grant there.
+		e.stats.Dropped++
+	}
+}
+
+// invalOrderFailed rolls the clock site back when a reader ordered to
+// discard its copy stayed unreachable: the write cycle cannot complete
+// (the unreachable reader may still serve local reads), so the clock
+// reinstates its own copy, re-ships copies to readers that already
+// discarded theirs, restores the reader mask, and reports the aborted
+// grant to the library — no data moved, record unchanged.
+func (e *Engine) invalOrderFailed(sn *segNode, m *wire.Msg, to int) {
+	k := pageKey{m.Seg, m.Page}
+	pi, ok := e.pend[k]
+	if !ok {
+		e.stats.Stale++
+		return
+	}
+	delete(e.pend, k)
+	p := int(m.Page)
+	now := e.env.Now()
+	if !sn.m.Present(p) {
+		if pi.data == nil {
+			// Nothing to roll back with; the library's copy-carrying
+			// abort path is the only option left.
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+				Req: pi.m.Req, Cycle: pi.m.Cycle,
+			})
+			return
+		}
+		sn.m.Install(p, pi.data, mmu.ReadOnly, now)
+	}
+	a := sn.m.Aux(p)
+	a.Writer = mmu.NoWriter
+	a.Window = 0
+	a.ReaderMask = pi.origMask
+	data := sn.m.Frame(p)
+	pi.acked.ForEach(func(s int) {
+		e.stats.PagesSent++
+		e.send(s, &wire.Msg{
+			Kind: wire.KPageSend, Mode: wire.Read, Seg: m.Seg, Page: m.Page,
+			Data: append([]byte(nil), data...),
+		})
+	})
+	e.send(int(sn.meta.Library), &wire.Msg{
+		Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
+		Req: pi.m.Req, Cycle: pi.m.Cycle,
+	})
+}
+
+// failPage fails every blocked accessor on the page with err: the
+// degraded-grant path. Outstanding request state is cleared so a later
+// access retries from scratch. A failed write intent drops a stale
+// read copy when another site is known to hold one (never the last
+// copy), bounding staleness after an upgrade grant was rehomed.
+func (e *Engine) failPage(sn *segNode, seg, page int32, err error) {
+	hadW := sn.outW[page]
+	if !sn.outR[page] && !hadW {
+		return
+	}
+	sn.outR[page] = false
+	sn.outW[page] = false
+	e.cancelReqTimer(sn, page)
+	p := int(page)
+	if hadW && sn.m.Present(p) && sn.m.Prot(p) == mmu.ReadOnly {
+		a := sn.m.Aux(p)
+		if a.ReaderMask != mmu.MaskOf(e.site) {
+			// Either we are not the clock (the clock holds a copy) or
+			// other readers exist: discarding ours cannot lose data.
+			data := append([]byte(nil), sn.m.Frame(p)...)
+			sn.m.Invalidate(p)
+			a.ReaderMask = 0
+			a.Writer = mmu.NoWriter
+			// The library still lists this site as a reader — and
+			// possibly as the clock. Shed the record entry (the frame
+			// rides along as the rehome copy, like any release) so the
+			// library reassigns the clock role; otherwise every later
+			// write cycle is aimed at a copy that no longer exists and
+			// aborts forever.
+			e.send(int(sn.meta.Library), &wire.Msg{
+				Kind: wire.KReleaseRead, Seg: seg, Page: page, Data: data,
+			})
+		}
+	}
+	if len(sn.waiters[page]) > 0 {
+		if sn.pageErr == nil {
+			sn.pageErr = make(map[int32]error)
+		}
+		sn.pageErr[page] = err
+		e.stats.Degraded++
+	}
+	e.wakeWaiters(sn, page)
+}
+
+// FaultError takes (returns and clears) the pending degraded-grant
+// error for a page. Access layers call it after a fault wake: non-nil
+// means the access should fail with the error rather than refault.
+func (e *Engine) FaultError(seg, page int32) error {
+	sn, ok := e.segs[seg]
+	if !ok || sn.pageErr == nil {
+		return nil
+	}
+	err := sn.pageErr[page]
+	delete(sn.pageErr, page)
+	return err
+}
+
+// armReqTimer starts the end-to-end request deadline for a page if not
+// already running.
+func (e *Engine) armReqTimer(sn *segNode, seg, page int32) {
+	if e.rel == nil {
+		return
+	}
+	if sn.reqTimer == nil {
+		sn.reqTimer = make(map[int32]func())
+	}
+	if sn.reqTimer[page] != nil {
+		return
+	}
+	sn.reqTimer[page] = e.env.After(e.rel.opt.RequestTimeout, func() {
+		cur, ok := e.segs[seg]
+		if !ok || cur != sn {
+			return
+		}
+		delete(sn.reqTimer, page)
+		e.failPage(sn, seg, page, fmt.Errorf("%w: request for seg %d page %d timed out", ErrUnreachable, seg, page))
+	})
+}
+
+// cancelReqTimer stops the request deadline once nothing is
+// outstanding for the page.
+func (e *Engine) cancelReqTimer(sn *segNode, page int32) {
+	if sn.reqTimer == nil {
+		return
+	}
+	if c := sn.reqTimer[page]; c != nil {
+		c()
+		delete(sn.reqTimer, page)
+	}
+}
+
+// reqProgress cancels the request deadline when both request flags
+// have been satisfied.
+func (e *Engine) reqProgress(sn *segNode, page int32) {
+	if e.rel == nil {
+		return
+	}
+	if !sn.outR[page] && !sn.outW[page] {
+		e.cancelReqTimer(sn, page)
+	}
+}
+
+// handleDenied runs at a requester whose queued request the library
+// could not serve (a peer in the grant path is unreachable).
+func (e *Engine) handleDenied(sn *segNode, m *wire.Msg) {
+	e.stats.Denied++
+	e.failPage(sn, m.Seg, m.Page, fmt.Errorf("%w: library denied %v of seg %d page %d", ErrUnreachable, m.Mode, m.Seg, m.Page))
+}
+
+// libAbortCycle abandons the in-flight grant cycle for a page: the
+// requesters it served are denied (they surface errors or retry), the
+// authoritative record stays as it was, and the queue continues — the
+// library's half of the degraded-grant path.
+func (e *Engine) libAbortCycle(sn *segNode, page int32) {
+	if sn.lib == nil {
+		return
+	}
+	p := &sn.lib.pages[page]
+	if !p.busy {
+		e.stats.Stale++
+		return
+	}
+	g := p.grant
+	if p.cancelRetry != nil {
+		p.cancelRetry()
+		p.cancelRetry = nil
+	}
+	p.busy = false
+	p.pendingInstalls = 0
+	p.grant = grantCycle{}
+	if g.write {
+		e.libDeny(sn, page, g.to, wire.Write, false)
+	} else {
+		g.batch.ForEach(func(s int) { e.libDeny(sn, page, s, wire.Read, false) })
+	}
+	e.libProcess(sn, page)
+}
+
+// libDeny tells a requester its request failed. drop hints that the
+// requester's stale read copy was superseded (the library rehomed the
+// page) and must be discarded.
+func (e *Engine) libDeny(sn *segNode, page int32, site int, mode wire.Mode, drop bool) {
+	e.send(site, &wire.Msg{
+		Kind: wire.KDenied, Mode: mode, Upgrade: drop, Seg: int32(sn.meta.ID), Page: page,
+	})
+}
+
+// handleGrantFail runs at the library when a grant could not complete.
+// At a non-library site (the clock) it relays an upgrade that landed on
+// an invalid copy, attaching the frame captured when the cycle was
+// accepted so the library can rehome the page.
+func (e *Engine) handleGrantFail(sn *segNode, m *wire.Msg) {
+	if sn.lib == nil {
+		fwd := *m
+		fwd.Data = e.stash[pageKey{m.Seg, m.Page}]
+		e.send(int(sn.meta.Library), &fwd)
+		return
+	}
+	p := &sn.lib.pages[m.Page]
+	if !p.busy || !p.grant.active || m.Cycle != p.cycle {
+		e.stats.Stale++
+		return
+	}
+	g := p.grant
+	switch {
+	case m.Mode == wire.Read && m.Req >= 0 && !g.write:
+		// One reader of the batch is unreachable; the rest proceed.
+		if !g.batch.Has(int(m.Req)) {
+			e.stats.Stale++
+			return
+		}
+		p.grant.batch = g.batch.Remove(int(m.Req))
+		e.libDeny(sn, m.Page, int(m.Req), wire.Read, false)
+		p.pendingInstalls--
+		if p.pendingInstalls == 0 {
+			e.libFinishCycle(sn, m.Page)
+			e.libProcess(sn, m.Page)
+		}
+
+	case g.write && len(m.Data) > 0:
+		// The grant carried the only current copy (or, for an upgrade,
+		// the clock's captured frame): rehome it so the data survives
+		// and the page stays grantable. The requester's stale read copy,
+		// if any, is superseded — the denial says to drop it.
+		if p.cancelRetry != nil {
+			p.cancelRetry()
+			p.cancelRetry = nil
+		}
+		p.busy = false
+		p.pendingInstalls = 0
+		p.grant = grantCycle{}
+		e.libReclaim(sn, m.Page, append([]byte(nil), m.Data...))
+		e.libDeny(sn, m.Page, g.to, wire.Write, m.Upgrade)
+		e.libProcess(sn, m.Page)
+
+	default:
+		// Whole-cycle abort before any data moved (the clock rolled
+		// back, or never acted): record unchanged, requesters denied.
+		e.libAbortCycle(sn, m.Page)
+	}
+}

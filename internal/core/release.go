@@ -94,7 +94,14 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 		sn.m.Invalidate(int(page))
 	}
 	if data == nil {
-		panic(fmt.Sprintf("core: site %d: reclaim of page %d with no data", e.site, page))
+		if e.rel == nil {
+			panic(fmt.Sprintf("core: site %d: reclaim of page %d with no data", e.site, page))
+		}
+		// Every recorded copy is gone and nothing came home: the page
+		// content is unrecoverable. Zero-fill rather than wedge the page
+		// forever, and account for it honestly.
+		e.stats.Lost++
+		data = make([]byte, sn.meta.PageSize)
 	}
 	sn.m.Install(int(page), data, mmu.ReadWrite, now)
 	a := sn.m.Aux(int(page))
@@ -108,6 +115,16 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 
 // handleReleaseDone finalizes one page release at the departing site.
 func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
+	if sn.releasesPending == 0 {
+		if e.rel == nil {
+			panic(fmt.Sprintf("core: site %d: excess release-done: %v", e.site, m))
+		}
+		// Confirmation of a record-correction release (handleAlready),
+		// not of a segment release. A fresh copy the subsequent request
+		// earned may already be installed here (the clock's page send
+		// travels a different circuit): leave it alone.
+		return
+	}
 	p := int(m.Page)
 	if sn.m.Present(p) {
 		sn.m.Invalidate(p)
@@ -116,9 +133,6 @@ func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
 		a.Writer = mmu.NoWriter
 	}
 	sn.releasesPending--
-	if sn.releasesPending < 0 {
-		panic(fmt.Sprintf("core: site %d: excess release-done: %v", e.site, m))
-	}
 	if sn.releasesPending == 0 {
 		sn.releasing = false
 		// A re-attach may have queued faults while releasing.

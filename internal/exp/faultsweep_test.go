@@ -1,0 +1,25 @@
+package exp
+
+import "testing"
+
+func TestE14FaultSweep(t *testing.T) {
+	r := FaultSweep(8, []float64{0, 5, 10})
+	for _, p := range r.Points {
+		if !p.Completed {
+			t.Errorf("drop %.0f%%: final=%d want=%d", p.DropPct, p.Final, p.Want)
+		}
+		if p.DropPct >= 5 && p.Retransmits == 0 {
+			t.Errorf("drop %.0f%%: no retransmissions despite %d net drops", p.DropPct, p.NetDropped)
+		}
+	}
+	// Loss costs work: the lossy points must resend more than lossless.
+	if len(r.Points) == 3 && r.Points[2].Retransmits <= r.Points[0].Retransmits {
+		t.Errorf("10%% drop retransmitted %d times, lossless %d", r.Points[2].Retransmits, r.Points[0].Retransmits)
+	}
+	if !r.Crash.Completed {
+		t.Errorf("crash window: final=%d want=%d", r.Crash.Final, r.Crash.Want)
+	}
+	if !r.ReplayMatches {
+		t.Error("same seed did not replay the same schedule")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/mem"
 	"mirage/internal/mmu"
@@ -40,6 +41,11 @@ type DSM interface {
 	CheckAccess(seg, page int32, write bool) mmu.FaultType
 	Frame(seg, page int32) []byte
 	Fault(seg, page int32, write bool, pid int32, wake func())
+	// FaultError takes (returns and clears) the pending degraded-grant
+	// error for a page: non-nil means a fault on the page was failed
+	// back instead of served, and the woken access should surface the
+	// error. Engines without a failure model always return nil.
+	FaultError(seg, page int32) error
 	MappedPages() int
 	Deliver(payload any)
 }
@@ -59,6 +65,11 @@ type Config struct {
 	Sched    sched.Config  // per-site scheduler parameters
 	Engine   core.Options  // protocol options (policy, tracer, tuner)
 
+	// Chaos, when set, injects the fault plan into the simulated
+	// network. Pair it with Engine.Reliability — without the
+	// reliability layer the engines assume lossless FIFO delivery.
+	Chaos *chaos.Plan
+
 	// NewDSM, when set, replaces the Mirage engine at every site (used
 	// to run the IVY baseline on the identical substrate). Sites built
 	// this way have a nil Eng field.
@@ -70,6 +81,7 @@ type Cluster struct {
 	K        *sim.Kernel
 	Net      *netsim.Network
 	Registry *mem.Registry
+	Chaos    *chaos.Injector // non-nil when Config.Chaos was set
 	sites    []*Site
 	nextPid  int32
 
@@ -137,6 +149,10 @@ func NewCluster(n int, cfg Config) *Cluster {
 		FaultLatency: stats.NewLatencyHistogram(),
 	}
 	c.Net = netsim.New(c.K, n)
+	if cfg.Chaos != nil {
+		c.Chaos = chaos.New(*cfg.Chaos)
+		chaos.WrapNetwork(c.Net, c.Chaos, func() time.Duration { return c.K.Now().Duration() })
+	}
 	for i := 0; i < n; i++ {
 		s := &Site{
 			c:        c,
@@ -342,6 +358,9 @@ func (h *Shm) access(off, n int, write bool, fn func(frame []byte, frameOff, buf
 			// the faulting instruction).
 			eng.Fault(segID, int32(page), write, h.proc.pid, h.proc.task.Wakeup)
 			h.proc.task.Block()
+			if err := eng.FaultError(segID, int32(page)); err != nil {
+				return err
+			}
 		}
 		if faultStart >= 0 {
 			h.proc.site.c.FaultLatency.Observe(h.proc.Now() - faultStart)

@@ -511,3 +511,7 @@ func (e *Dynamic) handleDynReleaseDone(sn *dynSeg, m *Msg) {
 		}
 	}
 }
+
+// FaultError implements ipc.DSM; the dynamic-manager baseline has no
+// failure model, so accesses never surface degraded-grant errors.
+func (d *Dynamic) FaultError(seg, page int32) error { return nil }

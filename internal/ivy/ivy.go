@@ -549,3 +549,7 @@ func (e *Engine) handleReleaseDone(sn *segNode, m *Msg) {
 
 // Paper-cost sanity: the IVY engine uses the same vaxmodel charges.
 var _ = vaxmodel.PageSize
+
+// FaultError implements ipc.DSM; the IVY baseline has no failure
+// model, so accesses never surface degraded-grant errors.
+func (e *Engine) FaultError(seg, page int32) error { return nil }

@@ -47,8 +47,23 @@ type Stats struct {
 	ShortMsgs  int // delivered messages with Size < LargeThreshold
 	LargeMsgs  int // delivered messages with Size >= LargeThreshold
 	Bytes      int // cumulative payload bytes delivered
+	Dropped    int // messages lost to the fault hook
+	Duplicated int // extra copies delivered by the fault hook
 	TxBusy     time.Duration
 	RxBusy     time.Duration
+}
+
+// Fault is the injection verdict for one message, produced by the
+// Inject hook (internal/chaos adapts its Injector to it). A dropped
+// message still charges the sender's transmitter — the bits went out,
+// the wire ate them — but never reaches the receiver. Each duplicate
+// is a full extra transmission. Delay stretches propagation between
+// the sender's tx-done and the receiver's interface, which can reorder
+// messages on the same circuit.
+type Fault struct {
+	Drop  bool
+	Dup   int // extra copies to deliver
+	Delay time.Duration
 }
 
 // LargeThreshold classifies messages for Stats: the paper counts
@@ -70,6 +85,11 @@ type Network struct {
 	// Delay, if non-nil, returns extra propagation delay to add to a
 	// message delivery. Used by tests to inject slow links.
 	Delay func(m Message) time.Duration
+
+	// Inject, if non-nil, is consulted once per non-loopback Send and
+	// applies the returned Fault. Loopback messages model intra-site
+	// calls and are never faulted.
+	Inject func(m Message) Fault
 
 	// SideElapsed computes the per-side elapsed cost of a message.
 	// Defaults to vaxmodel.MsgSideElapsed.
@@ -121,9 +141,26 @@ func (n *Network) Send(m Message) {
 		return
 	}
 	n.stats.Sent++
-	side := n.SideElapsed(m.Size)
+	var f Fault
+	if n.Inject != nil {
+		f = n.Inject(m)
+	}
+	if f.Drop {
+		// The sender still transmitted; charge its NIC and stop there.
+		n.stats.Dropped++
+		n.chargeTx(m)
+		return
+	}
+	n.stats.Duplicated += f.Dup
+	for i := 0; i <= f.Dup; i++ {
+		n.transmit(m, f.Delay)
+	}
+}
 
-	// Serialize on the sender's transmitter.
+// chargeTx serializes one transmission on the sender's NIC and returns
+// its completion instant.
+func (n *Network) chargeTx(m Message) sim.Time {
+	side := n.SideElapsed(m.Size)
 	tx := &n.nics[m.From]
 	start := n.k.Now()
 	if tx.txBusyUntil > start {
@@ -132,12 +169,17 @@ func (n *Network) Send(m Message) {
 	txDone := start.Add(side)
 	tx.txBusyUntil = txDone
 	n.stats.TxBusy += side
+	return txDone
+}
 
-	extra := time.Duration(0)
+// transmit carries one copy of m across the wire with extra
+// propagation delay.
+func (n *Network) transmit(m Message, extra time.Duration) {
+	side := n.SideElapsed(m.Size)
+	txDone := n.chargeTx(m)
 	if n.Delay != nil {
-		extra = n.Delay(m)
+		extra += n.Delay(m)
 	}
-
 	n.k.At(txDone.Add(extra), func() {
 		// Serialize on the receiver's interface.
 		rx := &n.nics[m.To]

@@ -31,7 +31,17 @@ type TCPMesh struct {
 	conns   map[int]*tcpConn
 	inbound map[net.Conn]struct{}
 	closed  bool
+	errs    TCPErrors
+	onError func(error)
 	wg      sync.WaitGroup
+}
+
+// TCPErrors are a mesh's cumulative transport-fault counters.
+type TCPErrors struct {
+	DecodeErrors   int // frames that failed wire.Decode (connection dropped)
+	CorruptStreams int // length prefixes beyond any legal frame (connection dropped)
+	WriteErrors    int // outbound write/flush failures (cached circuit evicted)
+	Redials        int // successful re-establishments after an eviction
 }
 
 type tcpConn struct {
@@ -63,6 +73,33 @@ func NewTCPSite(site int, addr string, h Handler) (*TCPMesh, error) {
 
 // Addr returns the listener's address for distribution to peers.
 func (m *TCPMesh) Addr() string { return m.listener.Addr().String() }
+
+// OnError installs a callback invoked (outside the mesh's locks) for
+// every transport fault the mesh absorbs: decode failures, corrupt
+// streams, write errors. Install before traffic starts.
+func (m *TCPMesh) OnError(fn func(error)) {
+	m.mu.Lock()
+	m.onError = fn
+	m.mu.Unlock()
+}
+
+// Errors returns a snapshot of the fault counters.
+func (m *TCPMesh) Errors() TCPErrors {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.errs
+}
+
+// noteError bumps one counter and reports the fault.
+func (m *TCPMesh) noteError(counter *int, err error) {
+	m.mu.Lock()
+	*counter++
+	cb := m.onError
+	m.mu.Unlock()
+	if cb != nil {
+		cb(err)
+	}
+}
 
 // SetPeers supplies every site's listen address, indexed by site ID.
 func (m *TCPMesh) SetPeers(addrs []string) {
@@ -108,7 +145,11 @@ func (m *TCPMesh) serve(c net.Conn) {
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
 		if n > wire.MaxData+1024 {
-			return // corrupt stream
+			// No legal frame is this long; the stream has lost sync and
+			// cannot be resynchronized — drop the connection.
+			m.noteError(&m.errs.CorruptStreams,
+				fmt.Errorf("transport: site %d: corrupt stream: frame length %d", m.site, n))
+			return
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -116,56 +157,97 @@ func (m *TCPMesh) serve(c net.Conn) {
 		}
 		msg, _, err := wire.Decode(buf)
 		if err != nil {
+			m.noteError(&m.errs.DecodeErrors,
+				fmt.Errorf("transport: site %d: decode inbound frame: %w", m.site, err))
 			return
 		}
 		m.handler(&msg)
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport. A write failure on a cached circuit
+// evicts it and redials once: the peer may simply have restarted its
+// listener, and a stale half-open circuit must not wedge the pair
+// forever. If the fresh circuit fails too, the error is returned (the
+// reliability layer, when enabled, handles retry pacing).
 func (m *TCPMesh) Send(to int, msg *wire.Msg) error {
 	if to == m.site {
 		// Loopback stays off the wire but keeps FIFO with itself.
 		m.handler(msg)
 		return nil
 	}
-	conn, err := m.conn(to)
-	if err != nil {
-		return err
-	}
 	frame := wire.Encode(nil, msg)
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if _, err := conn.w.Write(hdr[:]); err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, fresh, err := m.conn(to)
+		if err != nil {
+			return err
+		}
+		if attempt > 0 && fresh {
+			m.mu.Lock()
+			m.errs.Redials++
+			m.mu.Unlock()
+		}
+		if lastErr = conn.writeFrame(hdr[:], frame); lastErr == nil {
+			return nil
+		}
+		m.evict(to, conn, lastErr)
 	}
-	if _, err := conn.w.Write(frame); err != nil {
-		return err
-	}
-	return conn.w.Flush()
+	return fmt.Errorf("transport: send to site %d: %w", to, lastErr)
 }
 
-func (m *TCPMesh) conn(to int) (*tcpConn, error) {
+// writeFrame writes one length-prefixed frame under the circuit lock.
+func (c *tcpConn) writeFrame(hdr, frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(frame); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// evict drops a failed outbound circuit from the cache (unless a
+// concurrent sender already replaced it) and records the fault.
+func (m *TCPMesh) evict(to int, c *tcpConn, cause error) {
+	m.mu.Lock()
+	if m.conns[to] == c {
+		delete(m.conns, to)
+	}
+	m.errs.WriteErrors++
+	cb := m.onError
+	m.mu.Unlock()
+	c.c.Close()
+	if cb != nil {
+		cb(fmt.Errorf("transport: site %d: write to site %d: %w", m.site, to, cause))
+	}
+}
+
+// conn returns the cached circuit to a peer, dialing one if absent.
+// fresh reports whether this call established the circuit.
+func (m *TCPMesh) conn(to int) (tc *tcpConn, fresh bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, errClosed
+		return nil, false, errClosed
 	}
 	if c, ok := m.conns[to]; ok {
-		return c, nil
+		return c, false, nil
 	}
 	if to < 0 || to >= len(m.addrs) {
-		return nil, fmt.Errorf("transport: no address for site %d", to)
+		return nil, false, fmt.Errorf("transport: no address for site %d", to)
 	}
 	c, err := net.Dial("tcp", m.addrs[to])
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
+		return nil, false, fmt.Errorf("transport: dial site %d: %w", to, err)
 	}
-	tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
+	tc = &tcpConn{c: c, w: bufio.NewWriter(c)}
 	m.conns[to] = tc
-	return tc, nil
+	return tc, true, nil
 }
 
 // Close shuts the listener and all connections.

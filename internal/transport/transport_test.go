@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -219,5 +220,89 @@ func TestTCPConcurrentSenders(t *testing.T) {
 	}
 	if len(seen) != 4*per {
 		t.Fatalf("got %d unique of %d", len(seen), 4*per)
+	}
+}
+
+func TestTCPWriteFailureEvictsAndRedials(t *testing.T) {
+	var c0, c1 collect
+	m0, _ := newTCPPair(t, c0.handler(), c1.handler())
+	if err := m0.Send(1, &wire.Msg{Kind: wire.KReadReq, Seg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c1.wait(t, 1)
+
+	// Break the cached circuit behind the mesh's back: the next send
+	// must fail the stale socket, evict it, redial, and still deliver.
+	m0.mu.Lock()
+	m0.conns[1].c.Close()
+	m0.mu.Unlock()
+	var err error
+	for i := 0; i < 20; i++ {
+		// The first write after a peer close can land in the kernel
+		// buffer; keep sending until the failure surfaces and the mesh
+		// recovers.
+		if err = m0.Send(1, &wire.Msg{Kind: wire.KReadReq, Seg: 2}); err != nil {
+			t.Fatalf("send after redial: %v", err)
+		}
+		if m0.Errors().WriteErrors > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	e := m0.Errors()
+	if e.WriteErrors == 0 || e.Redials == 0 {
+		t.Fatalf("no eviction/redial recorded: %+v", e)
+	}
+	// The circuit works again end to end.
+	if err := m0.Send(1, &wire.Msg{Kind: wire.KReadReq, Seg: 3}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := 0; i < 100 && !found; i++ {
+		c1.mu.Lock()
+		for _, m := range c1.msgs {
+			if m.Seg == 3 {
+				found = true
+			}
+		}
+		c1.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !found {
+		t.Fatal("message after redial never delivered")
+	}
+}
+
+func TestTCPInboundCorruptionCounted(t *testing.T) {
+	var c0 collect
+	m0, err := NewTCPSite(0, "127.0.0.1:0", c0.handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m0.Close() })
+	faults := make(chan error, 4)
+	m0.OnError(func(err error) { faults <- err })
+
+	// A garbage frame with a plausible length: decode error.
+	c, err := net.Dial("tcp", m0.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte{0, 0, 0, 8, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4})
+	<-faults
+	c.Close()
+
+	// An absurd length prefix: corrupt stream.
+	c, err = net.Dial("tcp", m0.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	<-faults
+	c.Close()
+
+	e := m0.Errors()
+	if e.DecodeErrors != 1 || e.CorruptStreams != 1 {
+		t.Fatalf("errors = %+v, want 1 decode + 1 corrupt", e)
 	}
 }

@@ -73,6 +73,24 @@ const (
 	// KReleaseDone confirms the library processed a page release; the
 	// departing site may now discard the page (library -> holder).
 	KReleaseDone
+	// KAck confirms receipt of one sequenced message on a reliable
+	// channel (receiver -> sender). Seq is cumulative: it acknowledges
+	// every sequenced message up to and including it for the sender's
+	// current Epoch. Acks exist only when the engine's reliability
+	// layer is enabled; Locus virtual circuits made them implicit.
+	KAck
+	// KDenied tells a requester its request cannot be granted because a
+	// peer the grant depends on is unreachable past the retry budget
+	// (library -> requester). The requester surfaces an error to the
+	// faulting accessor — the "degraded grant" path — instead of
+	// blocking forever.
+	KDenied
+	// KGrantFail tells the library an in-flight grant could not be
+	// delivered (clock site -> library). Req is the requester that was
+	// being granted; for a failed write grant Data carries the page
+	// contents collected for the new writer so they are rehomed at the
+	// library rather than lost.
+	KGrantFail
 
 	kindCount
 )
@@ -94,6 +112,30 @@ var kindNames = [...]string{
 	KReleaseWrite: "release-write",
 	KClockHandoff: "clock-handoff",
 	KReleaseDone:  "release-done",
+	KAck:          "ack",
+	KDenied:       "denied",
+	KGrantFail:    "grant-fail",
+}
+
+// ParseKind resolves a kind's String() name back to its value; the
+// chaos plan grammar uses the names in (from, to, kind) match rules.
+func ParseKind(s string) (Kind, bool) {
+	for k := KInvalid + 1; k < kindCount; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return KInvalid, false
+}
+
+// Kinds returns every valid message kind, for seed corpora and plan
+// validation.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, int(kindCount)-1)
+	for k := KInvalid + 1; k < kindCount; k++ {
+		ks = append(ks, k)
+	}
+	return ks
 }
 
 func (k Kind) String() string {
@@ -133,6 +175,9 @@ type Msg struct {
 	Readers   uint64 // site mask: read batch or reader bookkeeping
 	Delta     time.Duration
 	Remaining time.Duration
+	Seq       uint64 // per-(sender,receiver) sequence number; 0 = unsequenced
+	Epoch     uint32 // reliable-channel incarnation; bumped when a sender gives up
+	Cycle     uint32 // library grant-cycle tag correlating grants with KInstalled
 	Data      []byte // page contents for KPageSend / KReleaseWrite
 }
 
@@ -171,7 +216,7 @@ func (m *Msg) String() string {
 	return s
 }
 
-const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 // 51 bytes
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 // 67 bytes
 
 // Errors returned by Decode.
 var (
@@ -201,7 +246,10 @@ func Encode(buf []byte, m *Msg) []byte {
 	binary.BigEndian.PutUint64(h[23:], m.Readers)
 	binary.BigEndian.PutUint64(h[31:], uint64(m.Delta))
 	binary.BigEndian.PutUint64(h[39:], uint64(m.Remaining))
-	binary.BigEndian.PutUint32(h[47:], uint32(len(m.Data)))
+	binary.BigEndian.PutUint64(h[47:], m.Seq)
+	binary.BigEndian.PutUint32(h[55:], m.Epoch)
+	binary.BigEndian.PutUint32(h[59:], m.Cycle)
+	binary.BigEndian.PutUint32(h[63:], uint32(len(m.Data)))
 	buf = append(buf, h[:]...)
 	return append(buf, m.Data...)
 }
@@ -227,7 +275,10 @@ func Decode(buf []byte) (Msg, int, error) {
 	m.Readers = binary.BigEndian.Uint64(buf[23:])
 	m.Delta = time.Duration(binary.BigEndian.Uint64(buf[31:]))
 	m.Remaining = time.Duration(binary.BigEndian.Uint64(buf[39:]))
-	n := int(binary.BigEndian.Uint32(buf[47:]))
+	m.Seq = binary.BigEndian.Uint64(buf[47:])
+	m.Epoch = binary.BigEndian.Uint32(buf[55:])
+	m.Cycle = binary.BigEndian.Uint32(buf[59:])
+	n := int(binary.BigEndian.Uint32(buf[63:]))
 	if n < 0 || n > MaxData {
 		return Msg{}, 0, ErrBadLen
 	}

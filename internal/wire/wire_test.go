@@ -97,10 +97,10 @@ func TestDecodeBadKind(t *testing.T) {
 func TestDecodeBadLength(t *testing.T) {
 	m := Msg{Kind: KPageSend, Data: []byte{1}}
 	buf := Encode(nil, &m)
-	buf[47] = 0xFF // huge length
-	buf[48] = 0xFF
-	buf[49] = 0xFF
-	buf[50] = 0xFF
+	buf[headerLen-4] = 0xFF // huge length
+	buf[headerLen-3] = 0xFF
+	buf[headerLen-2] = 0xFF
+	buf[headerLen-1] = 0xFF
 	if _, _, err := Decode(buf); !errors.Is(err, ErrBadLen) {
 		t.Fatalf("err = %v", err)
 	}

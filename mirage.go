@@ -38,6 +38,7 @@ import (
 	"errors"
 	"time"
 
+	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/mem"
 	"mirage/internal/vaxmodel"
@@ -72,6 +73,27 @@ const (
 	PolicyQueue      = core.PolicyQueue
 )
 
+// Reliability configures the optional ARQ layer: per-peer sequencing,
+// ack-driven retransmission with exponential backoff, and degraded
+// grants (accessors get an error instead of hanging when a peer stays
+// unreachable past the retry budget). See core.Reliability for the
+// field defaults.
+type Reliability = core.Reliability
+
+// FaultPlan is a deterministic, seeded fault-injection plan applied to
+// the cluster's transport fabric (drops, duplicates, delays, reorders,
+// partitions, crash windows). Build one with ParseFaultPlan or
+// literally; see internal/chaos for the grammar.
+type FaultPlan = chaos.Plan
+
+// ChaosStats are the injector's cumulative counters.
+type ChaosStats = chaos.Stats
+
+// ParseFaultPlan parses the chaos plan grammar, e.g.
+// "seed=42; drop p=0.05 kind=page-send; delay p=0.3 max=20ms;
+// partition sites=1,2 from=2s until=3s".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return chaos.Parse(s) }
+
 // Errors surfaced by segment handles.
 var (
 	// ErrDetached reports use of a detached or destroyed segment.
@@ -82,6 +104,10 @@ var (
 	ErrReadOnly = errors.New("mirage: write to read-only attach")
 	// ErrClosed reports use of a closed cluster.
 	ErrClosed = errors.New("mirage: cluster closed")
+	// ErrUnreachable reports a degraded grant: a peer needed to satisfy
+	// the access stayed unreachable past the reliability layer's retry
+	// budget. The access had no effect; retry once the fault heals.
+	ErrUnreachable = core.ErrUnreachable
 )
 
 // Re-exported registry errors, so callers can errors.Is against the
@@ -119,6 +145,13 @@ type Options struct {
 	// TCPAddr is the listen address pattern for TCP mode; default
 	// "127.0.0.1:0" (ephemeral ports).
 	TCPAddr string
+	// Reliability, when non-nil, enables the ARQ layer. nil keeps the
+	// paper-faithful engine, which assumes a lossless ordered fabric.
+	Reliability *Reliability
+	// Chaos, when non-nil, injects faults into the transport fabric per
+	// the plan. Requires Reliability: the lossless-fabric engine has no
+	// recovery paths for a lossy mesh.
+	Chaos *FaultPlan
 }
 
 func (o Options) withDefaults() Options {

@@ -77,8 +77,17 @@ func (g *Segment) access(off, n int, write bool, fn func(frame []byte, frameOff,
 				return ErrDetached
 			}
 			done := make(chan bool, 1)
+			var faultErr error
 			fo, bufOff, k := fo, bufOff, k
 			ok := nd.post(func() {
+				if err := nd.eng.FaultError(segID, int32(page)); err != nil {
+					// A previous fault on this page was degraded (peer
+					// unreachable past the retry budget). Surface it
+					// instead of refaulting into the same partition.
+					faultErr = err
+					done <- true
+					return
+				}
 				if nd.eng.CheckAccess(segID, int32(page), write) == mmu.NoFault {
 					fn(nd.eng.Frame(segID, int32(page)), fo, bufOff, k)
 					done <- true
@@ -95,6 +104,9 @@ func (g *Segment) access(off, n int, write bool, fn func(frame []byte, frameOff,
 				return ErrDetached
 			}
 			if <-done {
+				if faultErr != nil {
+					return faultErr
+				}
 				break
 			}
 		}
