@@ -4,38 +4,138 @@
 //
 // Usage:
 //
-//	miragebench [-e all|e1,e4,e5,...] [-dur 20s] [-quick]
+//	miragebench [-e all|e1,e4,e5,...] [-dur 20s] [-quick] [-par N] [-out bench.json]
 //
 // Experiment IDs follow DESIGN.md's per-experiment index. -quick cuts
-// run lengths for a fast smoke pass.
+// run lengths for a fast smoke pass. -par caps the sweep worker pool
+// (0 = GOMAXPROCS); results are identical at any setting. -out writes
+// a machine-readable benchmark record (wall times per experiment plus
+// the data-path microbenchmarks) to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
+	"testing"
 	"time"
 
 	"mirage/internal/exp"
 	"mirage/internal/stats"
+	"mirage/internal/transport"
 	"mirage/internal/vaxmodel"
+	"mirage/internal/wire"
 )
+
+// benchRecord is the -out JSON shape: enough to compare data-path and
+// harness performance across commits.
+type benchRecord struct {
+	GOOS        string            `json:"goos"`
+	GOARCH      string            `json:"goarch"`
+	CPUs        int               `json:"cpus"`
+	Parallelism int               `json:"parallelism"` // 0 = GOMAXPROCS
+	Quick       bool              `json:"quick"`
+	Experiments []experimentWall  `json:"experiments"`
+	TotalWallS  float64           `json:"total_wall_seconds"`
+	Micro       map[string]string `json:"microbench,omitempty"`
+}
+
+type experimentWall struct {
+	ID    string  `json:"id"`
+	WallS float64 `json:"wall_seconds"`
+}
+
+// microbench measures the live data path: the wire codec hot paths and
+// sustained throughput over a real loopback TCP mesh.
+func microbench() map[string]string {
+	out := map[string]string{}
+	ctl := wire.Msg{Kind: wire.KInval, Mode: wire.Write, Seg: 3, Page: 17, Req: 2, Readers: 0b1011}
+	page := wire.Msg{Kind: wire.KPageSend, Seg: 1, Page: 2, Data: make([]byte, 512)}
+	buf := make([]byte, 0, wire.MaxFrame)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.Encode(buf[:0], &ctl)
+		}
+	})
+	out["wire_encode"] = fmt.Sprintf("%.1f ns/op, %d allocs/op", float64(r.NsPerOp()), r.AllocsPerOp())
+	frame := wire.Encode(nil, &page)
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := wire.Decode(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out["wire_decode_page"] = fmt.Sprintf("%.1f ns/op, %d allocs/op", float64(r.NsPerOp()), r.AllocsPerOp())
+
+	// Live TCP loopback throughput, short and page frames.
+	tcp := func(m *wire.Msg) (float64, error) {
+		var count atomic.Int64
+		m0, err := transport.NewTCPSite(0, "127.0.0.1:0", func(*wire.Msg) {})
+		if err != nil {
+			return 0, err
+		}
+		defer m0.Close()
+		m1, err := transport.NewTCPSite(1, "127.0.0.1:0", func(*wire.Msg) { count.Add(1) })
+		if err != nil {
+			return 0, err
+		}
+		defer m1.Close()
+		addrs := []string{m0.Addr(), m1.Addr()}
+		m0.SetPeers(addrs)
+		m1.SetPeers(addrs)
+		const n = 200_000
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := m0.Send(1, m); err != nil {
+				return 0, err
+			}
+		}
+		for count.Load() < n {
+			time.Sleep(100 * time.Microsecond)
+		}
+		return n / time.Since(start).Seconds(), nil
+	}
+	if rate, err := tcp(&ctl); err == nil {
+		out["tcp_short"] = fmt.Sprintf("%.0f msgs/s", rate)
+	}
+	if rate, err := tcp(&page); err == nil {
+		out["tcp_pages"] = fmt.Sprintf("%.0f msgs/s, %.1f MB/s", rate, rate*512/1e6)
+	}
+	return out
+}
 
 func main() {
 	which := flag.String("e", "all", "comma-separated experiment ids (e1..e14) or 'all'")
 	dur := flag.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := flag.Bool("quick", false, "short runs for a smoke pass")
+	par := flag.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
+	out := flag.String("out", "", "write a JSON benchmark record to this file")
 	flag.Parse()
 
 	if *quick {
 		*dur = 5 * time.Second
+	}
+	exp.Parallelism = *par
+	rec := benchRecord{
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Parallelism: *par,
+		Quick:       *quick,
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*which, ",") {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
 	}
 	all := want["all"]
+	totalStart := time.Now()
 	run := func(id, title string, fn func()) {
 		if !all && !want[id] {
 			return
@@ -43,7 +143,9 @@ func main() {
 		fmt.Printf("== %s — %s ==\n", strings.ToUpper(id), title)
 		start := time.Now()
 		fn()
-		fmt.Printf("   (%.2fs wall)\n\n", time.Since(start).Seconds())
+		wall := time.Since(start).Seconds()
+		rec.Experiments = append(rec.Experiments, experimentWall{ID: id, WallS: wall})
+		fmt.Printf("   (%.2fs wall)\n\n", wall)
 	}
 
 	run("e1", "§7.1 component timings", func() {
@@ -225,4 +327,21 @@ func main() {
 		fmt.Printf("paper: %v–%v per 512-byte page, segments up to 128 KB (256 pages)\n",
 			vaxmodel.RemapPerPageMin, vaxmodel.RemapPerPageMax)
 	})
+
+	rec.TotalWallS = time.Since(totalStart).Seconds()
+	if *out != "" {
+		rec.Micro = microbench()
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miragebench: marshal record: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "miragebench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark record: %s (parallelism=%d over %d CPUs, %.2fs total wall)\n",
+			*out, *par, rec.CPUs, rec.TotalWallS)
+	}
 }

@@ -14,6 +14,12 @@
 //	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/refs.log
 //	miragesim -workload readers -sites 4 -delta 100ms
 //	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
+//	miragesim -workload counters -delta 600ms -runs 8
+//
+// -runs N executes the scenario N times concurrently (one virtual
+// cluster each) and verifies every run produced identical results —
+// the simulator's determinism check, and a parallel speedup measure on
+// multi-core hosts.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"mirage/internal/chaos"
@@ -43,6 +51,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write the library's reference log to this file")
 	chaosSpec := flag.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
 	chaosSeed := flag.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
+	runs := flag.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
 	flag.Parse()
 
 	var pol core.InvalPolicy
@@ -56,12 +65,16 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
+	if *runs < 1 {
+		log.Fatal("-runs must be at least 1")
+	}
+	if *runs > 1 && *tracePath != "" {
+		log.Fatal("-trace is incompatible with -runs > 1")
+	}
 
 	var recorder *trace.Log
-	opts := core.Options{Policy: pol}
 	if *tracePath != "" {
 		recorder = trace.NewLog()
-		opts.Tracer = recorder
 	}
 
 	n := 2
@@ -71,33 +84,84 @@ func main() {
 			log.Fatal("readers needs at least 2 sites")
 		}
 	}
-	var plan *chaos.Plan
-	if *chaosSpec != "" {
-		var err error
-		plan, err = chaos.Parse(*chaosSpec)
-		if err != nil {
-			log.Fatalf("bad -chaos plan: %v", err)
+
+	// runOnce builds a fresh virtual cluster and drives the scenario to
+	// completion; every run is self-contained, so N of them can execute
+	// concurrently and must agree bit for bit.
+	runOnce := func() (string, *ipc.Cluster) {
+		opts := core.Options{Policy: pol}
+		if recorder != nil {
+			opts.Tracer = recorder
 		}
-		if *chaosSeed != 0 {
-			plan.Seed = *chaosSeed
+		var plan *chaos.Plan
+		if *chaosSpec != "" {
+			var err error
+			plan, err = chaos.Parse(*chaosSpec)
+			if err != nil {
+				log.Fatalf("bad -chaos plan: %v", err)
+			}
+			if *chaosSeed != 0 {
+				plan.Seed = *chaosSeed
+			}
+			// A lossy fabric needs the ARQ layer; zero value = defaults.
+			opts.Reliability = &core.Reliability{}
 		}
-		// A lossy fabric needs the ARQ layer; zero value = defaults.
-		opts.Reliability = &core.Reliability{}
+		c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
+		var headline string
+		switch *workload {
+		case "pingpong":
+			cycles := exp.RunPingPongForDebug(c, 0, 1, *yield, *dur)
+			headline = fmt.Sprintf("%.2f cycles/s (yield=%v)", float64(cycles)/dur.Seconds(), *yield)
+		case "counters":
+			insn := exp.RunCountersForDebug(c, *dur)
+			headline = fmt.Sprintf("%.0f read-write insn/s", insn)
+		case "readers":
+			headline = runReaders(c, *dur)
+		default:
+			log.Fatalf("unknown workload %q", *workload)
+		}
+		return headline, c
 	}
-	c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
 
 	var headline string
-	switch *workload {
-	case "pingpong":
-		cycles := exp.RunPingPongForDebug(c, 0, 1, *yield, *dur)
-		headline = fmt.Sprintf("%.2f cycles/s (yield=%v)", float64(cycles)/dur.Seconds(), *yield)
-	case "counters":
-		insn := exp.RunCountersForDebug(c, *dur)
-		headline = fmt.Sprintf("%.0f read-write insn/s", insn)
-	case "readers":
-		headline = runReaders(c, *dur)
-	default:
-		log.Fatalf("unknown workload %q", *workload)
+	var c *ipc.Cluster
+	if *runs == 1 {
+		headline, c = runOnce()
+	} else {
+		headlines := make([]string, *runs)
+		digests := make([]string, *runs)
+		clusters := make([]*ipc.Cluster, *runs)
+		start := time.Now()
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i := 0; i < *runs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				h, cl := runOnce()
+				headlines[i] = h
+				digests[i] = h + " | " + digest(cl)
+				clusters[i] = cl
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		identical := true
+		for i := 1; i < *runs; i++ {
+			if digests[i] != digests[0] {
+				identical = false
+				log.Printf("run %d diverged:\n  run 0: %s\n  run %d: %s", i, digests[0], i, digests[i])
+			}
+		}
+		fmt.Printf("%d runs in %.2fs wall (%d-way), identical results: %v\n", *runs, wall.Seconds(), runtime.GOMAXPROCS(0), identical)
+		if !identical {
+			os.Exit(1)
+		}
+		headline = headlines[0]
+		// The runs are interchangeable; show run 0's detailed stats.
+		c = clusters[0]
 	}
 
 	fmt.Printf("workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
@@ -150,6 +214,25 @@ func main() {
 		}
 		fmt.Printf("reference log: %d entries -> %s (analyze with miragetrace)\n", recorder.Len(), *tracePath)
 	}
+}
+
+// digest summarizes a finished cluster's observable state for the
+// -runs determinism comparison: per-site protocol counters plus the
+// fabric totals.
+func digest(c *ipc.Cluster) string {
+	s := ""
+	for i := 0; i < c.Sites(); i++ {
+		es := c.Site(i).Eng.Stats()
+		s += fmt.Sprintf("site%d{rf=%d wf=%d tx=%d rx=%d up=%d busy=%d retry=%d} ",
+			i, es.ReadFaults, es.WriteFaults, es.PagesSent, es.PagesReceived,
+			es.Upgrades, es.BusyReplies, es.Retries)
+	}
+	ns := c.Net.Stats()
+	s += fmt.Sprintf("net{msgs=%d bytes=%d}", ns.Delivered, ns.Bytes)
+	if c.Chaos != nil {
+		s += " chaos{" + c.Chaos.Stats().String() + "}"
+	}
+	return s
 }
 
 // runReaders spawns one writer colocated with the library and N-1

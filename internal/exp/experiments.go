@@ -147,10 +147,11 @@ type Figure7Point struct {
 // Figure7 sweeps Δ over tick values for both program variants. Each
 // point runs for dur of virtual time. Site 0 hosts process 1 and the
 // library ("one site acts as user and library site", §7.3); site 1
-// hosts process 2.
+// hosts process 2. Points run in parallel (see Parallelism): each owns
+// a private virtual cluster, so the sweep is deterministic regardless
+// of worker count.
 func Figure7(dur time.Duration, ticks []int) []Figure7Point {
-	out := make([]Figure7Point, 0, len(ticks))
-	for _, k := range ticks {
+	return sweep(ticks, func(k int) Figure7Point {
 		delta := time.Duration(k) * vaxmodel.ClockTick
 		p := Figure7Point{DeltaTicks: k}
 		for _, yield := range []bool{true, false} {
@@ -164,9 +165,8 @@ func Figure7(dur time.Duration, ticks []int) []Figure7Point {
 				p.NoYield = v
 			}
 		}
-		out = append(out, p)
-	}
-	return out
+		return p
+	})
 }
 
 // WorstCaseTraffic reports protocol traffic per worst-case cycle at a
@@ -234,18 +234,16 @@ func Figure8(cfg CountersConfig, deltas []time.Duration) []Figure8Point {
 	if cfg.Duration == 0 {
 		cfg.Duration = 10 * time.Second
 	}
-	out := make([]Figure8Point, 0, len(deltas))
-	for _, d := range deltas {
+	return sweep(deltas, func(d time.Duration) Figure8Point {
 		c := ipc.NewCluster(2, ipc.Config{Delta: d})
 		st := runCounters(c, 0, 1, cfg)
 		c.Run()
 		iters := st.iters[0] + st.iters[1]
-		out = append(out, Figure8Point{
+		return Figure8Point{
 			Delta:      d,
 			InsnPerSec: 2 * float64(iters) / cfg.Duration.Seconds(), // read + write per iteration
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -266,8 +264,7 @@ type ThrashPoint struct {
 // loss is protocol service overhead) with an unrelated compute-bound
 // process sharing site 0, sweeping Δ.
 func ThrashingAmelioration(dur time.Duration, ticks []int) []ThrashPoint {
-	out := make([]ThrashPoint, 0, len(ticks))
-	for _, k := range ticks {
+	return sweep(ticks, func(k int) ThrashPoint {
 		delta := time.Duration(k) * vaxmodel.ClockTick
 		c := ipc.NewCluster(2, ipc.Config{Delta: delta})
 		st := runPingPong(c, 0, 1, PingPongConfig{UseYield: true}, 512, dur)
@@ -279,13 +276,12 @@ func ThrashingAmelioration(dur time.Duration, ticks []int) []ThrashPoint {
 			}
 		})
 		c.Run()
-		out = append(out, ThrashPoint{
+		return ThrashPoint{
 			DeltaTicks:     k,
 			AppCycles:      float64(st.cycles) / dur.Seconds(),
 			BystanderUnits: float64(units) / dur.Seconds(),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -307,25 +303,32 @@ func InvalidationAblation(cfg CountersConfig, deltas []time.Duration) []PolicyPo
 	if cfg.Duration == 0 {
 		cfg.Duration = 10 * time.Second
 	}
-	var out []PolicyPoint
+	// Flatten the policy × Δ grid so every cell is one parallel point.
+	type cell struct {
+		policy core.InvalPolicy
+		d      time.Duration
+	}
+	var cells []cell
 	for _, policy := range []core.InvalPolicy{core.PolicyRetry, core.PolicyHonorClose, core.PolicyQueue} {
 		for _, d := range deltas {
-			c := ipc.NewCluster(2, ipc.Config{
-				Delta:  d,
-				Engine: core.Options{Policy: policy},
-			})
-			st := runCounters(c, 0, 1, cfg)
-			c.Run()
-			iters := st.iters[0] + st.iters[1]
-			out = append(out, PolicyPoint{
-				Policy:     policy,
-				Delta:      d,
-				InsnPerSec: 2 * float64(iters) / cfg.Duration.Seconds(),
-				Retries:    c.Site(0).Eng.Stats().Retries + c.Site(1).Eng.Stats().Retries,
-			})
+			cells = append(cells, cell{policy, d})
 		}
 	}
-	return out
+	return sweep(cells, func(cl cell) PolicyPoint {
+		c := ipc.NewCluster(2, ipc.Config{
+			Delta:  cl.d,
+			Engine: core.Options{Policy: cl.policy},
+		})
+		st := runCounters(c, 0, 1, cfg)
+		c.Run()
+		iters := st.iters[0] + st.iters[1]
+		return PolicyPoint{
+			Policy:     cl.policy,
+			Delta:      cl.d,
+			InsnPerSec: 2 * float64(iters) / cfg.Duration.Seconds(),
+			Retries:    c.Site(0).Eng.Stats().Retries + c.Site(1).Eng.Stats().Retries,
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -365,19 +368,26 @@ func DynamicDelta(cfg CountersConfig) DynamicDeltaResult {
 		}
 		return d
 	}
-	c := ipc.NewCluster(2, ipc.Config{
-		Delta:  0,
-		Engine: core.Options{TuneDelta: tuner},
-	})
-	st := runCounters(c, 0, 1, cfg)
-	c.Run()
-	return DynamicDeltaResult{
-		FixedZero:  fixed(0),
-		FixedKnee:  fixed(120 * time.Millisecond),
-		FixedPeak:  fixed(600 * time.Millisecond),
-		FixedLarge: fixed(2400 * time.Millisecond),
-		Adaptive:   2 * float64(st.iters[0]+st.iters[1]) / cfg.Duration.Seconds(),
+	adaptive := func() float64 {
+		c := ipc.NewCluster(2, ipc.Config{
+			Delta:  0,
+			Engine: core.Options{TuneDelta: tuner},
+		})
+		st := runCounters(c, 0, 1, cfg)
+		c.Run()
+		return 2 * float64(st.iters[0]+st.iters[1]) / cfg.Duration.Seconds()
 	}
+	// The five configurations are independent runs: fan them out.
+	var r DynamicDeltaResult
+	tasks := []func(){
+		func() { r.FixedZero = fixed(0) },
+		func() { r.FixedKnee = fixed(120 * time.Millisecond) },
+		func() { r.FixedPeak = fixed(600 * time.Millisecond) },
+		func() { r.FixedLarge = fixed(2400 * time.Millisecond) },
+		func() { r.Adaptive = adaptive() },
+	}
+	sweepTasks(len(tasks), func(i int) { tasks[i]() })
+	return r
 }
 
 // ---------------------------------------------------------------------------
@@ -386,9 +396,9 @@ func DynamicDelta(cfg CountersConfig) DynamicDeltaResult {
 
 // TASPoint is one Δ measurement of the test&set scenario.
 type TASPoint struct {
-	DeltaTicks  int
-	CritPerSec  float64 // completed critical sections/second at the writer
-	PageMoves   int     // page transfers observed
+	DeltaTicks int
+	CritPerSec float64 // completed critical sections/second at the writer
+	PageMoves  int     // page transfers observed
 }
 
 // TASResult is the §7.2 test&set study: the locking writer's critical
@@ -406,19 +416,22 @@ type TASResult struct {
 // remote tester.
 func TestAndSetScenario(dur time.Duration, ticks []int) TASResult {
 	var r TASResult
-	solo := ipc.NewCluster(2, ipc.Config{})
-	r.Solo = runTASWriter(solo, dur, false)
-	for _, k := range ticks {
+	// The solo run is one more independent point: fold it into the fan-out
+	// as index 0, with the contended Δ points after it.
+	tasks := append([]int{-1}, ticks...)
+	pts := sweep(tasks, func(k int) TASPoint {
+		if k < 0 {
+			solo := ipc.NewCluster(2, ipc.Config{})
+			return TASPoint{CritPerSec: runTASWriter(solo, dur, false)}
+		}
 		delta := time.Duration(k) * vaxmodel.ClockTick
 		c := ipc.NewCluster(2, ipc.Config{Delta: delta})
 		crit := runTASWriter(c, dur, true)
 		moves := c.Site(0).Eng.Stats().PagesSent + c.Site(1).Eng.Stats().PagesSent
-		r.Points = append(r.Points, TASPoint{
-			DeltaTicks: k,
-			CritPerSec: crit,
-			PageMoves:  moves,
-		})
-	}
+		return TASPoint{DeltaTicks: k, CritPerSec: crit, PageMoves: moves}
+	})
+	r.Solo = pts[0].CritPerSec
+	r.Points = pts[1:]
 	return r
 }
 
@@ -492,8 +505,7 @@ type RemapPoint struct {
 // processes attached to segments of increasing size. The paper reports
 // 106–125 µs per 512-byte page up to 128 KB segments.
 func RemapCost(pageCounts []int) []RemapPoint {
-	out := make([]RemapPoint, 0, len(pageCounts))
-	for _, pages := range pageCounts {
+	return sweep(pageCounts, func(pages int) RemapPoint {
 		c := ipc.NewCluster(1, ipc.Config{})
 		c.Site(0).Spawn("mapped", 0, func(p *ipc.Proc) {
 			id, err := p.Shmget(segKey, pages*vaxmodel.PageSize, mem.Create, rwMode)
@@ -517,9 +529,8 @@ func RemapCost(pageCounts []int) []RemapPoint {
 		if st.Dispatches > 0 {
 			mean = st.SwitchBusy / time.Duration(st.Dispatches)
 		}
-		out = append(out, RemapPoint{Pages: pages, DispatchCost: mean})
-	}
-	return out
+		return RemapPoint{Pages: pages, DispatchCost: mean}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -529,7 +540,7 @@ func RemapCost(pageCounts []int) []RemapPoint {
 
 // NSitePoint is throughput for one ring size.
 type NSitePoint struct {
-	Sites       int
+	Sites        int
 	CyclesPerSec float64 // full ring rotations per second
 	MsgsPerCycle float64
 }
@@ -538,8 +549,7 @@ type NSitePoint struct {
 // Site 0 hosts the library; Δ is left at zero (the best setting for a
 // pure ping-pong per §10.0's "Δ be small or equal to zero" guidance).
 func NSiteWorstCase(dur time.Duration, sizes []int) []NSitePoint {
-	out := make([]NSitePoint, 0, len(sizes))
-	for _, n := range sizes {
+	return sweep(sizes, func(n int) NSitePoint {
 		c := ipc.NewCluster(n, ipc.Config{})
 		rounds := 0
 		for s := 0; s < n; s++ {
@@ -577,7 +587,6 @@ func NSiteWorstCase(dur time.Duration, sizes []int) []NSitePoint {
 		if rounds > 0 {
 			pt.MsgsPerCycle = float64(ns.Delivered) / float64(rounds)
 		}
-		out = append(out, pt)
-	}
-	return out
+		return pt
+	})
 }

@@ -139,48 +139,61 @@ func runFaultWorkload(plan *chaos.Plan, sites, perSite int) (FaultSweepPoint, *i
 
 // FaultSweep runs the loss-rate sweep (dup and delay stay constant so
 // the drop probability is the only variable), the crash-window
-// scenario, and the determinism double-run.
+// scenario, and the determinism double-run. Every scenario is an
+// independent deterministic cluster, so the whole set — loss points,
+// crash, and both replay runs — fans out across the worker pool (see
+// Parallelism) with results identical at any worker count.
 func FaultSweep(perSite int, dropPcts []float64) FaultSweepResult {
 	const sites = 3
 	var r FaultSweepResult
-	for _, pct := range dropPcts {
-		spec := "seed=42; dup p=0.05; delay p=0.1 max=5ms"
-		if pct > 0 {
-			spec = fmt.Sprintf("seed=42; drop p=%g; dup p=0.05; delay p=0.1 max=5ms", pct/100)
-		}
-		plan, err := chaos.Parse(spec)
-		if err != nil {
-			panic(err)
-		}
-		pt, _ := runFaultWorkload(plan, sites, perSite)
-		pt.DropPct = pct
-		r.Points = append(r.Points, pt)
-	}
+	r.Points = make([]FaultSweepPoint, len(dropPcts))
+	replay := make([]FaultSweepPoint, 2)
+	replayStats := make([]string, 2)
 
-	// Crash window: site 2 is dead (all its traffic destroyed, both
-	// directions) for half the run, then comes back. The window sits
-	// inside the workload's ~500 ms span so the protocol actually rides
-	// through it; the retry budget (~1.3 s) outlasts the outage, so the
-	// stalled cycles complete on retransmission once the site returns.
-	crashPlan, err := chaos.Parse("seed=42; crash site=2 from=100ms until=400ms")
-	if err != nil {
-		panic(err)
-	}
-	r.Crash, _ = runFaultWorkload(crashPlan, sites, perSite)
-
-	// Determinism: the 5% point twice must replay the exact schedule.
-	mk := func() (FaultSweepPoint, chaos.Stats) {
-		plan, err := chaos.Parse("seed=42; drop p=0.05; dup p=0.05; delay p=0.1 max=5ms")
-		if err != nil {
-			panic(err)
+	// Task layout: [0, len) loss points, then crash, then the two
+	// determinism runs.
+	nPoints := len(dropPcts)
+	sweepTasks(nPoints+3, func(i int) {
+		switch {
+		case i < nPoints:
+			pct := dropPcts[i]
+			spec := "seed=42; dup p=0.05; delay p=0.1 max=5ms"
+			if pct > 0 {
+				spec = fmt.Sprintf("seed=42; drop p=%g; dup p=0.05; delay p=0.1 max=5ms", pct/100)
+			}
+			plan, err := chaos.Parse(spec)
+			if err != nil {
+				panic(err)
+			}
+			pt, _ := runFaultWorkload(plan, sites, perSite)
+			pt.DropPct = pct
+			r.Points[i] = pt
+		case i == nPoints:
+			// Crash window: site 2 is dead (all its traffic destroyed,
+			// both directions) for half the run, then comes back. The
+			// window sits inside the workload's ~500 ms span so the
+			// protocol actually rides through it; the retry budget
+			// (~1.3 s) outlasts the outage, so the stalled cycles
+			// complete on retransmission once the site returns.
+			plan, err := chaos.Parse("seed=42; crash site=2 from=100ms until=400ms")
+			if err != nil {
+				panic(err)
+			}
+			r.Crash, _ = runFaultWorkload(plan, sites, perSite)
+		default:
+			// Determinism: the 5% point twice must replay the exact
+			// schedule.
+			plan, err := chaos.Parse("seed=42; drop p=0.05; dup p=0.05; delay p=0.1 max=5ms")
+			if err != nil {
+				panic(err)
+			}
+			pt, c := runFaultWorkload(plan, sites, perSite)
+			replay[i-nPoints-1] = pt
+			replayStats[i-nPoints-1] = c.Chaos.Stats().String()
 		}
-		pt, c := runFaultWorkload(plan, sites, perSite)
-		return pt, c.Chaos.Stats()
-	}
-	p1, s1 := mk()
-	p2, s2 := mk()
-	r.ReplayMatches = p1.Elapsed == p2.Elapsed &&
-		p1.Retransmits == p2.Retransmits &&
-		s1.String() == s2.String()
+	})
+	r.ReplayMatches = replay[0].Elapsed == replay[1].Elapsed &&
+		replay[0].Retransmits == replay[1].Retransmits &&
+		replayStats[0] == replayStats[1]
 	return r
 }

@@ -23,9 +23,9 @@ import (
 
 // HotSpotResult reports both workloads' throughput under one Δ policy.
 type HotSpotResult struct {
-	Config    string
-	HotOps    float64 // hot-page exchanges per second
-	ColdInsn  float64 // cold-page read-write instructions per second
+	Config   string
+	HotOps   float64 // hot-page exchanges per second
+	ColdInsn float64 // cold-page read-write instructions per second
 }
 
 // HotSpots measures uniform-small, uniform-large, and per-page window

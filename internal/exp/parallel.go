@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallelism caps how many sweep points run concurrently across the
+// package's experiment sweeps. Zero (the default) means GOMAXPROCS.
+// Every sweep point owns a private virtual-time cluster, so results are
+// bit-identical at any setting — parallelism changes wall time only.
+var Parallelism int
+
+// workers resolves the effective worker count for a sweep of n points.
+func workers(n int) int {
+	w := Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// sweep runs fn over every point, fanning the points across workers(),
+// and returns the results in input order. Each invocation of fn must be
+// self-contained (its own cluster, its own accumulators): fn runs
+// concurrently with itself at other indices.
+func sweep[P, R any](points []P, fn func(P) R) []R {
+	out := make([]R, len(points))
+	w := workers(len(points))
+	if w == 1 {
+		for i, p := range points {
+			out[i] = fn(p)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				out[i] = fn(points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sweepTasks runs n heterogeneous tasks (index-addressed) across the
+// worker pool; callers write results into their own slots.
+func sweepTasks(n int, fn func(i int)) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sweep(idx, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

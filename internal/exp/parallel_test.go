@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The acceptance property of the parallel harness: a sweep's results
+// are bit-identical at any worker count, because every point owns a
+// private virtual-time cluster. Run representative sweeps at
+// Parallelism 1 and 4 and require deep equality.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) (f7 []Figure7Point, f8 []Figure8Point, ns []NSitePoint, pp []PolicyPoint) {
+		old := Parallelism
+		Parallelism = par
+		defer func() { Parallelism = old }()
+		dur := 200 * time.Millisecond
+		f7 = Figure7(dur, []int{0, 2, 8})
+		f8 = Figure8(CountersConfig{Duration: dur}, []time.Duration{0, 120 * time.Millisecond, 600 * time.Millisecond})
+		ns = NSiteWorstCase(dur, []int{2, 3})
+		pp = InvalidationAblation(CountersConfig{Duration: dur}, []time.Duration{0, 120 * time.Millisecond})
+		return
+	}
+	f7a, f8a, nsa, ppa := run(1)
+	f7b, f8b, nsb, ppb := run(4)
+	if !reflect.DeepEqual(f7a, f7b) {
+		t.Errorf("Figure7 differs across parallelism:\n par=1: %+v\n par=4: %+v", f7a, f7b)
+	}
+	if !reflect.DeepEqual(f8a, f8b) {
+		t.Errorf("Figure8 differs across parallelism:\n par=1: %+v\n par=4: %+v", f8a, f8b)
+	}
+	if !reflect.DeepEqual(nsa, nsb) {
+		t.Errorf("NSiteWorstCase differs across parallelism:\n par=1: %+v\n par=4: %+v", nsa, nsb)
+	}
+	if !reflect.DeepEqual(ppa, ppb) {
+		t.Errorf("InvalidationAblation differs across parallelism:\n par=1: %+v\n par=4: %+v", ppa, ppb)
+	}
+}
+
+func TestFaultSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep is slow")
+	}
+	run := func(par int) FaultSweepResult {
+		old := Parallelism
+		Parallelism = par
+		defer func() { Parallelism = old }()
+		return FaultSweep(3, []float64{0, 5})
+	}
+	a := run(1)
+	b := run(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("FaultSweep differs across parallelism:\n par=1: %+v\n par=4: %+v", a, b)
+	}
+	if !a.ReplayMatches {
+		t.Error("replay determinism check failed")
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	Parallelism = 3
+	if w := workers(10); w != 3 {
+		t.Fatalf("workers(10) = %d, want 3", w)
+	}
+	if w := workers(2); w != 2 {
+		t.Fatalf("workers(2) = %d, want capped 2", w)
+	}
+	Parallelism = 0
+	if w := workers(1); w != 1 {
+		t.Fatalf("workers(1) = %d, want 1", w)
+	}
+}

@@ -18,13 +18,10 @@ type InprocMesh struct {
 type inbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []item
+	queue  []*wire.Msg
+	spare  []*wire.Msg // recycled batch backing array
 	closed bool
 	done   chan struct{}
-}
-
-type item struct {
-	m *wire.Msg
 }
 
 // NewInprocMesh creates the mesh and starts delivery goroutines; the
@@ -57,7 +54,7 @@ func (p inprocPort) Send(to int, msg *wire.Msg) error {
 	if ib.closed {
 		return errClosed
 	}
-	ib.queue = append(ib.queue, item{m: msg})
+	ib.queue = append(ib.queue, msg)
 	ib.cond.Signal()
 	return nil
 }
@@ -80,6 +77,10 @@ func (m *InprocMesh) Close() error {
 	return nil
 }
 
+// drain delivers queued messages in batches: each wakeup swaps the
+// whole queue out under the lock and hands the batch to the handler
+// lock-free. The drained batch's backing array is recycled, so the
+// steady-state delivery path allocates nothing.
 func (ib *inbox) drain(h Handler) {
 	defer close(ib.done)
 	for {
@@ -92,10 +93,17 @@ func (ib *inbox) drain(h Handler) {
 			return
 		}
 		batch := ib.queue
-		ib.queue = nil
+		ib.queue = ib.spare[:0]
+		ib.spare = nil
 		ib.mu.Unlock()
-		for _, it := range batch {
-			h(it.m)
+		for i, m := range batch {
+			h(m)
+			batch[i] = nil // drop the reference; the engine owns it now
 		}
+		ib.mu.Lock()
+		if ib.spare == nil {
+			ib.spare = batch[:0]
+		}
+		ib.mu.Unlock()
 	}
 }

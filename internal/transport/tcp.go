@@ -14,9 +14,23 @@ import (
 // TCPMesh carries the Mirage wire protocol over real TCP sockets: one
 // listener per site and one outbound connection per (sender, receiver)
 // pair, established lazily and kept open — the Locus virtual-circuit
-// discipline. Frames are the wire binary encoding prefixed by the
-// sender's handshake (once per connection); TCP's ordering gives the
-// per-circuit FIFO the protocol assumes.
+// discipline. Frames are the wire binary encoding behind a 4-byte
+// length prefix; TCP's ordering gives the per-circuit FIFO the
+// protocol assumes.
+//
+// Data path. Send appends the encoded frame straight into the peer
+// circuit's staging buffer (wire.AppendFrame); a dedicated writer
+// goroutine per circuit swaps the staged bytes out and pushes them
+// with one contiguous write, so a burst of N protocol messages costs
+// one syscall, not N write+flush pairs. The two staging buffers per
+// circuit are recycled forever: the steady-state send path allocates
+// nothing. TCP_NODELAY is set explicitly on every circuit:
+// batching happens here, where message boundaries are known, never in
+// the kernel where it would add delay. Inbound, each connection reuses
+// a single read buffer sized up to the max frame; decoded control
+// messages borrow nothing from it, and page-carrying messages get their
+// Data copied out (wire.Msg.CloneData) before the handler — which may
+// retain the message indefinitely — sees them.
 //
 // The mesh is for sites within one OS (typically loopback): the
 // control plane (segment naming) stays in-process, as noted in
@@ -40,14 +54,38 @@ type TCPMesh struct {
 type TCPErrors struct {
 	DecodeErrors   int // frames that failed wire.Decode (connection dropped)
 	CorruptStreams int // length prefixes beyond any legal frame (connection dropped)
-	WriteErrors    int // outbound write/flush failures (cached circuit evicted)
+	WriteErrors    int // outbound dial/write failures (cached circuit evicted)
 	Redials        int // successful re-establishments after an eviction
 }
 
+// maxQueuedBytes bounds one circuit's staging buffer. Senders that
+// outrun the socket block in Send until the writer drains — the same
+// backpressure a blocking write syscall used to provide, but applied
+// per batch instead of per message. The bound also caps the circuit's
+// memory at two staging buffers of roughly this size.
+const maxQueuedBytes = 1 << 20
+
+// tcpConn is one outbound circuit: a staging buffer of encoded frames
+// drained by a writer goroutine that owns the socket. Senders encode
+// under mu, appending to out; the writer swaps out/offs with the spare
+// pair, so the two buffers ping-pong between the roles and the data
+// path reaches steady state with zero allocation.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	m  *TCPMesh
+	to int
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when the staging buffer becomes non-empty
+	space     *sync.Cond // signaled when the writer frees staging space
+	out       []byte     // staged length-prefixed frames awaiting write
+	offs      []int      // start offset of each staged frame in out
+	spareOut  []byte     // recycled staging buffer
+	spareOffs []int
+	closed    bool
+
+	// c is the established socket. It is owned by the writer goroutine;
+	// tests fault it deliberately (under mu) to exercise redial.
+	c net.Conn
 }
 
 // NewTCPSite starts a listener for one site at addr (use "127.0.0.1:0"
@@ -76,7 +114,7 @@ func (m *TCPMesh) Addr() string { return m.listener.Addr().String() }
 
 // OnError installs a callback invoked (outside the mesh's locks) for
 // every transport fault the mesh absorbs: decode failures, corrupt
-// streams, write errors. Install before traffic starts.
+// streams, dial and write errors. Install before traffic starts.
 func (m *TCPMesh) OnError(fn func(error)) {
 	m.mu.Lock()
 	m.onError = fn
@@ -128,7 +166,17 @@ func (m *TCPMesh) accept() {
 	}
 }
 
+// readBufSize is the bufio size on both sides of a circuit: big enough
+// that a full page frame plus a batch of control frames drains in one
+// kernel read.
+const readBufSize = 64 * 1024
+
 // serve reads frames from one inbound connection and delivers them.
+// One frame buffer is reused for the whole connection; wire.Decode
+// aliases message Data into it, so data-carrying messages are cloned
+// before the handler retains them. Control messages (the vast majority
+// of protocol traffic) borrow nothing and allocate nothing here beyond
+// the Msg itself.
 func (m *TCPMesh) serve(c net.Conn) {
 	defer m.wg.Done()
 	defer func() {
@@ -137,117 +185,287 @@ func (m *TCPMesh) serve(c net.Conn) {
 		delete(m.inbound, c)
 		m.mu.Unlock()
 	}()
-	r := bufio.NewReader(c)
+	r := bufio.NewReaderSize(c, readBufSize)
 	var hdr [4]byte
+	var buf []byte // reused frame buffer, grown on demand up to MaxFrame
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n > wire.MaxData+1024 {
+		if n > wire.MaxFrame {
 			// No legal frame is this long; the stream has lost sync and
 			// cannot be resynchronized — drop the connection.
 			m.noteError(&m.errs.CorruptStreams,
 				fmt.Errorf("transport: site %d: corrupt stream: frame length %d", m.site, n))
 			return
 		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		frame := buf[:n]
+		if _, err := io.ReadFull(r, frame); err != nil {
 			return
 		}
-		msg, _, err := wire.Decode(buf)
+		msg, _, err := wire.Decode(frame)
 		if err != nil {
 			m.noteError(&m.errs.DecodeErrors,
 				fmt.Errorf("transport: site %d: decode inbound frame: %w", m.site, err))
 			return
 		}
+		if msg.Data != nil {
+			// The handler owns the message from here on and the frame
+			// buffer is about to be overwritten: un-alias the payload.
+			msg.Data = msg.CloneData()
+		}
 		m.handler(&msg)
 	}
 }
 
-// Send implements Transport. A write failure on a cached circuit
-// evicts it and redials once: the peer may simply have restarted its
-// listener, and a stale half-open circuit must not wedge the pair
-// forever. If the fresh circuit fails too, the error is returned (the
-// reliability layer, when enabled, handles retry pacing).
+// Send implements Transport. It encodes the message into the peer
+// circuit's staging buffer and returns; the writer goroutine owns the
+// socket, so Send blocks only when the circuit's staging bound is full
+// (backpressure), never on the wire. Only structural problems (mesh
+// closed, unknown peer) surface here; socket faults are absorbed by
+// the writer — it evicts the circuit, redials once, and reports
+// through the error counters and OnError (the reliability layer, when
+// enabled, owns retry pacing beyond that).
 func (m *TCPMesh) Send(to int, msg *wire.Msg) error {
 	if to == m.site {
 		// Loopback stays off the wire but keeps FIFO with itself.
 		m.handler(msg)
 		return nil
 	}
-	frame := wire.Encode(nil, msg)
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		conn, fresh, err := m.conn(to)
-		if err != nil {
-			return err
-		}
-		if attempt > 0 && fresh {
-			m.mu.Lock()
-			m.errs.Redials++
-			m.mu.Unlock()
-		}
-		if lastErr = conn.writeFrame(hdr[:], frame); lastErr == nil {
-			return nil
-		}
-		m.evict(to, conn, lastErr)
-	}
-	return fmt.Errorf("transport: send to site %d: %w", to, lastErr)
-}
-
-// writeFrame writes one length-prefixed frame under the circuit lock.
-func (c *tcpConn) writeFrame(hdr, frame []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.w.Write(hdr); err != nil {
+	tc, err := m.conn(to)
+	if err != nil {
 		return err
 	}
-	if _, err := c.w.Write(frame); err != nil {
-		return err
+	if !tc.enqueue(msg) {
+		return errClosed
 	}
-	return c.w.Flush()
+	return nil
 }
 
-// evict drops a failed outbound circuit from the cache (unless a
-// concurrent sender already replaced it) and records the fault.
-func (m *TCPMesh) evict(to int, c *tcpConn, cause error) {
-	m.mu.Lock()
-	if m.conns[to] == c {
-		delete(m.conns, to)
-	}
-	m.errs.WriteErrors++
-	cb := m.onError
-	m.mu.Unlock()
-	c.c.Close()
-	if cb != nil {
-		cb(fmt.Errorf("transport: site %d: write to site %d: %w", m.site, to, cause))
-	}
-}
-
-// conn returns the cached circuit to a peer, dialing one if absent.
-// fresh reports whether this call established the circuit.
-func (m *TCPMesh) conn(to int) (tc *tcpConn, fresh bool, err error) {
+// conn returns the circuit record for a peer, creating it (and its
+// writer goroutine) if absent. Dialing happens on the writer, off the
+// sender's path.
+func (m *TCPMesh) conn(to int) (*tcpConn, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, false, errClosed
+		return nil, errClosed
 	}
 	if c, ok := m.conns[to]; ok {
-		return c, false, nil
+		return c, nil
 	}
 	if to < 0 || to >= len(m.addrs) {
-		return nil, false, fmt.Errorf("transport: no address for site %d", to)
+		return nil, fmt.Errorf("transport: no address for site %d", to)
 	}
-	c, err := net.Dial("tcp", m.addrs[to])
-	if err != nil {
-		return nil, false, fmt.Errorf("transport: dial site %d: %w", to, err)
-	}
-	tc = &tcpConn{c: c, w: bufio.NewWriter(c)}
+	tc := &tcpConn{m: m, to: to}
+	tc.cond = sync.NewCond(&tc.mu)
+	tc.space = sync.NewCond(&tc.mu)
 	m.conns[to] = tc
-	return tc, true, nil
+	m.wg.Add(1)
+	go tc.writeLoop()
+	return tc, nil
+}
+
+// enqueue encodes one message into the circuit's staging buffer,
+// blocking while the buffer is at its byte bound. It reports false
+// when the circuit is closed.
+func (c *tcpConn) enqueue(msg *wire.Msg) bool {
+	c.mu.Lock()
+	for len(c.out) >= maxQueuedBytes && !c.closed {
+		c.space.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.offs = append(c.offs, len(c.out))
+	c.out = wire.AppendFrame(c.out, msg)
+	if len(c.offs) == 1 {
+		// 0 → non-empty transition: the writer may be waiting. While the
+		// buffer stays non-empty the writer is awake (or already woken)
+		// and will re-check before sleeping, so no further signal needed.
+		c.cond.Signal()
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// shutdown wakes the writer for exit, releases blocked senders, and
+// closes the socket out from under any blocked write.
+func (c *tcpConn) shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	if c.c != nil {
+		c.c.Close()
+	}
+	c.cond.Signal()
+	c.space.Broadcast()
+	c.mu.Unlock()
+}
+
+// writeLoop drains the staging buffer: all frames staged at wakeup go
+// out as one contiguous write, so senders bursting protocol traffic
+// pay one syscall per batch. On a write fault it evicts the socket and
+// redials once, resending only the frames the dead socket had not
+// fully accepted; if the fresh socket fails too, the batch is dropped
+// and counted (retransmission is the reliability layer's job).
+func (c *tcpConn) writeLoop() {
+	defer c.m.wg.Done()
+	defer func() {
+		c.mu.Lock()
+		if c.c != nil {
+			c.c.Close()
+		}
+		c.out, c.offs = nil, nil
+		c.mu.Unlock()
+	}()
+	var batch []byte
+	var offs []int
+	for {
+		c.mu.Lock()
+		for len(c.out) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		batch, c.out = c.out, c.spareOut[:0]
+		offs, c.offs = c.offs, c.spareOffs[:0]
+		c.spareOut, c.spareOffs = nil, nil
+		c.space.Broadcast()
+		c.mu.Unlock()
+
+		rest := c.writeFrames(batch, offs, 0)
+		if rest > 0 {
+			// Evict the dead socket and retry the unsent tail once on a
+			// fresh one; drop it if that fails as well.
+			if c.redial() {
+				rest = c.writeFrames(batch, offs, len(offs)-rest)
+			}
+			if rest > 0 {
+				c.fail(fmt.Errorf("transport: site %d: dropped %d frames to site %d", c.m.site, rest, c.to))
+			}
+		}
+		c.mu.Lock()
+		if c.spareOut == nil {
+			// Recycle the drained staging pair for the next swap.
+			c.spareOut, c.spareOffs = batch[:0], offs[:0]
+		}
+		c.mu.Unlock()
+	}
+}
+
+// writeFrames pushes the staged frames starting at frame index `from`
+// with one contiguous write, dialing first if the circuit has no
+// socket. It returns the number of frames (from the batch's tail) that
+// were not fully accepted by the socket; 0 means complete success.
+func (c *tcpConn) writeFrames(data []byte, offs []int, from int) (unsent int) {
+	if from >= len(offs) {
+		return 0
+	}
+	conn := c.socket()
+	if conn == nil {
+		return len(offs) - from
+	}
+	base := offs[from]
+	n, err := conn.Write(data[base:])
+	if err == nil {
+		return 0
+	}
+	c.evict(conn, err)
+	// Find the first frame the socket did not fully accept: everything
+	// before it was handed to the kernel (and possibly delivered), so
+	// resending those on a fresh circuit would duplicate them. The
+	// partially accepted frame itself is safe to resend — the receiver
+	// drops a connection that dies mid-frame without delivering it.
+	written := base + n
+	for i := from; i < len(offs); i++ {
+		end := len(data)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		if end > written {
+			return len(offs) - i
+		}
+	}
+	return 0
+}
+
+// socket returns the circuit's established socket, dialing if needed.
+// A nil return means the peer is unreachable (counted and reported).
+func (c *tcpConn) socket() net.Conn {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.c != nil {
+		conn := c.c
+		c.mu.Unlock()
+		return conn
+	}
+	c.mu.Unlock()
+
+	c.m.mu.Lock()
+	addr := ""
+	if c.to < len(c.m.addrs) {
+		addr = c.m.addrs[c.to]
+	}
+	c.m.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		c.fail(fmt.Errorf("transport: dial site %d: %w", c.to, err))
+		return nil
+	}
+	if t, ok := conn.(*net.TCPConn); ok {
+		// Explicit, though it is Go's default: batching is done here at
+		// the frame layer, the kernel must never sit on a flushed batch.
+		t.SetNoDelay(true)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	c.c = conn
+	c.mu.Unlock()
+	return conn
+}
+
+// evict drops the circuit's socket after a write fault and records it.
+func (c *tcpConn) evict(conn net.Conn, cause error) {
+	c.mu.Lock()
+	if c.c == conn {
+		c.c = nil
+	}
+	c.mu.Unlock()
+	conn.Close()
+	c.m.noteError(&c.m.errs.WriteErrors,
+		fmt.Errorf("transport: site %d: write to site %d: %w", c.m.site, c.to, cause))
+}
+
+// redial re-establishes the circuit after an eviction: the peer may
+// simply have restarted its listener, and a stale half-open socket
+// must not wedge the pair forever.
+func (c *tcpConn) redial() bool {
+	if c.socket() == nil {
+		return false
+	}
+	c.m.mu.Lock()
+	c.m.errs.Redials++
+	c.m.mu.Unlock()
+	return true
+}
+
+// fail counts one unrecoverable outbound fault.
+func (c *tcpConn) fail(err error) {
+	c.m.noteError(&c.m.errs.WriteErrors, err)
 }
 
 // Close shuts the listener and all connections.
@@ -267,7 +485,7 @@ func (m *TCPMesh) Close() error {
 	m.mu.Unlock()
 	m.listener.Close()
 	for _, c := range conns {
-		c.c.Close()
+		c.shutdown()
 	}
 	for _, c := range inbound {
 		c.Close()

@@ -15,6 +15,11 @@ import (
 // Handler receives delivered messages for a site. Implementations call
 // it from a single delivery goroutine per site: handlers never race
 // with themselves.
+//
+// Ownership: the message belongs to the handler, which may retain it
+// (and its Data) indefinitely. Fabrics whose decode path aliases a
+// reused read buffer are responsible for un-aliasing Data (see
+// wire.Msg.CloneData) before delivery.
 type Handler func(m *wire.Msg)
 
 // Transport sends protocol messages between sites.

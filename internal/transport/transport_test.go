@@ -231,11 +231,16 @@ func TestTCPWriteFailureEvictsAndRedials(t *testing.T) {
 	}
 	c1.wait(t, 1)
 
-	// Break the cached circuit behind the mesh's back: the next send
+	// Break the cached circuit behind the mesh's back: the next write
 	// must fail the stale socket, evict it, redial, and still deliver.
 	m0.mu.Lock()
-	m0.conns[1].c.Close()
+	tc := m0.conns[1]
 	m0.mu.Unlock()
+	tc.mu.Lock()
+	if tc.c != nil {
+		tc.c.Close()
+	}
+	tc.mu.Unlock()
 	var err error
 	for i := 0; i < 20; i++ {
 		// The first write after a peer close can land in the kernel
@@ -270,6 +275,42 @@ func TestTCPWriteFailureEvictsAndRedials(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("message after redial never delivered")
+	}
+}
+
+func TestTCPRetainedDataSurvivesBufferReuse(t *testing.T) {
+	// The receive path reuses one frame buffer per connection and
+	// wire.Decode aliases Data into it. The mesh must un-alias before
+	// delivery: a handler that retains a page message (as the engine's
+	// reliability layer does) must see its payload intact after later
+	// frames overwrite the read buffer.
+	var c0, c1 collect
+	m0, _ := newTCPPair(t, c0.handler(), c1.handler())
+	page := make([]byte, 512)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := m0.Send(1, &wire.Msg{Kind: wire.KPageSend, Page: 1, Data: page}); err != nil {
+		t.Fatal(err)
+	}
+	got := c1.wait(t, 1)
+	retained := got[0]
+	// Flood the same connection with frames carrying different bytes so
+	// the reused read buffer is overwritten many times.
+	junk := make([]byte, 512)
+	for i := range junk {
+		junk[i] = 0xAA
+	}
+	for i := 0; i < 200; i++ {
+		if err := m0.Send(1, &wire.Msg{Kind: wire.KPageSend, Page: 2, Data: junk}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1.wait(t, 201)
+	for i, b := range retained.Data {
+		if b != byte(i) {
+			t.Fatalf("retained Data corrupted at %d: got %#x, want %#x (read buffer aliasing)", i, b, byte(i))
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// benchMsg is a representative control message (the dominant traffic
+// class: header only, no page data).
+func benchMsg() Msg {
+	return Msg{
+		Kind:    KInval,
+		Mode:    Write,
+		Seg:     3,
+		Page:    17,
+		From:    1,
+		Req:     2,
+		Readers: 0b1011,
+		Delta:   33 * time.Millisecond,
+		Seq:     42,
+	}
+}
+
+// benchPageMsg is the large traffic class: a 512-byte page in flight.
+func benchPageMsg() Msg {
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	return Msg{Kind: KPageSend, Mode: Read, Seg: 1, Page: 2, Delta: time.Second, Data: data}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := benchMsg()
+	buf := make([]byte, 0, MaxFrame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], &m)
+	}
+	_ = buf
+}
+
+func BenchmarkEncodePage(b *testing.B) {
+	m := benchPageMsg()
+	buf := make([]byte, 0, MaxFrame)
+	b.SetBytes(int64(m.EncodedLen()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], &m)
+	}
+	_ = buf
+}
+
+func BenchmarkDecode(b *testing.B) {
+	m := benchMsg()
+	buf := Encode(nil, &m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePage(b *testing.B) {
+	m := benchPageMsg()
+	buf := Encode(nil, &m)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendFramePooled is the transport send path's encode unit:
+// a pooled buffer, one length-prefixed frame, back to the pool.
+func BenchmarkAppendFramePooled(b *testing.B) {
+	m := benchMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb := GetBuf()
+		fb.B = AppendFrame(fb.B, &m)
+		PutBuf(fb)
+	}
+}
+
+// The codec hot paths must stay allocation-free: these are the
+// acceptance gates for the pooled/appending API, enforced as tests so
+// a regression fails CI rather than just drifting a benchmark number.
+
+func TestEncodeAllocFree(t *testing.T) {
+	m := benchPageMsg()
+	buf := make([]byte, 0, MaxFrame)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = Encode(buf[:0], &m)
+	}); n != 0 {
+		t.Fatalf("Encode into sized buffer: %v allocs/op, want 0", n)
+	}
+}
+
+func TestDecodeAllocFree(t *testing.T) {
+	m := benchPageMsg()
+	buf := Encode(nil, &m)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, err := Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Decode: %v allocs/op, want 0 (Data must alias, not copy)", n)
+	}
+}
+
+func TestAppendFramePooledAllocFree(t *testing.T) {
+	m := benchMsg()
+	// Warm the pool so the measured runs only recycle.
+	PutBuf(GetBuf())
+	if n := testing.AllocsPerRun(100, func() {
+		fb := GetBuf()
+		fb.B = AppendFrame(fb.B, &m)
+		PutBuf(fb)
+	}); n != 0 {
+		t.Fatalf("pooled AppendFrame: %v allocs/op, want 0", n)
+	}
+}

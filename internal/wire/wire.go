@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -178,7 +179,25 @@ type Msg struct {
 	Seq       uint64 // per-(sender,receiver) sequence number; 0 = unsequenced
 	Epoch     uint32 // reliable-channel incarnation; bumped when a sender gives up
 	Cycle     uint32 // library grant-cycle tag correlating grants with KInstalled
-	Data      []byte // page contents for KPageSend / KReleaseWrite
+
+	// Data carries page contents for KPageSend / KReleaseWrite /
+	// KGrantFail. Ownership contract: Encode and AppendFrame copy Data
+	// into the destination buffer, so a sender may reuse or pool the
+	// backing array as soon as the encode call returns. Decode does the
+	// opposite — it aliases Data into the input buffer without copying —
+	// so a receiver that retains the message past the lifetime of that
+	// buffer must replace Data with CloneData first.
+	Data []byte
+}
+
+// CloneData returns a private copy of m.Data (nil when the message
+// carries none). Receivers call it before retaining a decoded message
+// whose Data still aliases a transport-owned read buffer.
+func (m *Msg) CloneData() []byte {
+	if len(m.Data) == 0 {
+		return nil
+	}
+	return append([]byte(nil), m.Data...)
 }
 
 // NetBufBytes is the Locus network buffer size. The prototype's pages
@@ -230,7 +249,17 @@ var (
 // message is 1 KB — 64 KB is a generous safety bound).
 const MaxData = 64 * 1024
 
+// MaxFrame is the largest legal encoded message: a full header plus
+// MaxData bytes of page contents. Length-prefixed stream transports use
+// it as the corrupt-stream bound — any prefix beyond it cannot open a
+// real frame.
+const MaxFrame = headerLen + MaxData
+
+// EncodedLen returns the exact number of bytes Encode appends for m.
+func (m *Msg) EncodedLen() int { return headerLen + len(m.Data) }
+
 // Encode appends the binary form of m to buf and returns the result.
+// m.Data is copied, never aliased: the caller keeps ownership of it.
 func Encode(buf []byte, m *Msg) []byte {
 	var h [headerLen]byte
 	h[0] = byte(m.Kind)
@@ -254,8 +283,52 @@ func Encode(buf []byte, m *Msg) []byte {
 	return append(buf, m.Data...)
 }
 
+// AppendFrame appends one length-prefixed frame — a 4-byte big-endian
+// length followed by the encoded message — to buf in a single shot.
+// This is the TCP transport's write unit; producing prefix, header and
+// data with one append chain keeps the hot path free of intermediate
+// buffers. Like Encode it copies m.Data.
+func AppendFrame(buf []byte, m *Msg) []byte {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], uint32(m.EncodedLen()))
+	return Encode(append(buf, p[:]...), m)
+}
+
+// Buf is a pooled encode buffer. The pointer wrapper keeps Get/Put
+// allocation-free (putting a bare slice into a sync.Pool would box it
+// on every call).
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuf returns an empty encode buffer from the pool. Typical use:
+//
+//	b := wire.GetBuf()
+//	b.B = wire.AppendFrame(b.B, m)
+//	... write b.B ...
+//	wire.PutBuf(b)
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. Oversized buffers (beyond one
+// max frame) are dropped so a single jumbo message cannot pin memory in
+// the pool forever.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > MaxFrame+4 {
+		return
+	}
+	bufPool.Put(b)
+}
+
 // Decode parses one message from buf, returning the message and the
-// number of bytes consumed. Data is aliased into buf, not copied.
+// number of bytes consumed. Data is aliased into buf, not copied: a
+// caller that reuses buf (or returns it to a pool) while retaining the
+// message must replace Data with CloneData first.
 func Decode(buf []byte) (Msg, int, error) {
 	if len(buf) < headerLen {
 		return Msg{}, 0, ErrShort
@@ -278,10 +351,12 @@ func Decode(buf []byte) (Msg, int, error) {
 	m.Seq = binary.BigEndian.Uint64(buf[47:])
 	m.Epoch = binary.BigEndian.Uint32(buf[55:])
 	m.Cycle = binary.BigEndian.Uint32(buf[59:])
-	n := int(binary.BigEndian.Uint32(buf[63:]))
-	if n < 0 || n > MaxData {
+	// Compare as uint32 before converting: the conversion can only
+	// produce a legal length, so no signedness branch is needed.
+	if binary.BigEndian.Uint32(buf[63:]) > MaxData {
 		return Msg{}, 0, ErrBadLen
 	}
+	n := int(binary.BigEndian.Uint32(buf[63:]))
 	if len(buf) < headerLen+n {
 		return Msg{}, 0, ErrShort
 	}

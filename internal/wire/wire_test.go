@@ -106,6 +106,74 @@ func TestDecodeBadLength(t *testing.T) {
 	}
 }
 
+func TestAppendFrameRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Kind: KReadReq, Seg: 1, Page: 2, From: 3},
+		{Kind: KPageSend, Seg: 1, Page: 2, Data: []byte{9, 8, 7}},
+		{Kind: KBusy, Remaining: time.Millisecond},
+	}
+	var buf []byte
+	for i := range msgs {
+		buf = AppendFrame(buf, &msgs[i])
+	}
+	// Each frame is a 4-byte big-endian length followed by exactly that
+	// many encoded bytes, and the payload decodes to the original.
+	off := 0
+	for i := range msgs {
+		if len(buf)-off < 4 {
+			t.Fatalf("frame %d: short prefix", i)
+		}
+		n := int(buf[off])<<24 | int(buf[off+1])<<16 | int(buf[off+2])<<8 | int(buf[off+3])
+		if n != msgs[i].EncodedLen() {
+			t.Fatalf("frame %d: prefix %d, want %d", i, n, msgs[i].EncodedLen())
+		}
+		got, used, err := Decode(buf[off+4 : off+4+n])
+		if err != nil || used != n {
+			t.Fatalf("frame %d: decode: %v used=%d", i, err, used)
+		}
+		if got.Kind != msgs[i].Kind || !bytes.Equal(got.Data, msgs[i].Data) {
+			t.Fatalf("frame %d: got %+v", i, got)
+		}
+		off += 4 + n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d", off, len(buf))
+	}
+}
+
+func TestCloneData(t *testing.T) {
+	src := Encode(nil, &Msg{Kind: KPageSend, Data: []byte{1, 2, 3}})
+	m, _, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := m.CloneData()
+	src[headerLen] = 99 // corrupt the buffer the decode aliased
+	if m.Data[0] != 99 {
+		t.Fatal("Decode must alias Data into the input buffer")
+	}
+	if clone[0] != 1 || clone[1] != 2 || clone[2] != 3 {
+		t.Fatalf("clone affected by buffer reuse: %v", clone)
+	}
+	empty := Msg{}
+	if empty.CloneData() != nil {
+		t.Fatal("CloneData of data-free message must be nil")
+	}
+}
+
+func TestPutBufDropsOversized(t *testing.T) {
+	big := &Buf{B: make([]byte, 0, MaxFrame+5)}
+	PutBuf(big) // must be dropped, not pooled
+	for i := 0; i < 100; i++ {
+		got := GetBuf()
+		if cap(got.B) > MaxFrame+4 {
+			t.Fatal("oversized buffer leaked into the pool")
+		}
+		PutBuf(got)
+	}
+	PutBuf(nil) // must not panic
+}
+
 func TestDecodeStream(t *testing.T) {
 	// Multiple messages back to back decode in sequence.
 	var buf []byte

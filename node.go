@@ -20,9 +20,19 @@ type node struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	ops    []func()
+	ops    []loopItem
+	spare  []loopItem // recycled batch backing array
 	closed bool
 	done   chan struct{}
+}
+
+// loopItem is one queued actor operation: either a function to run or
+// an inbound protocol message to hand to the engine. Messages get
+// their own variant so the transport's delivery path enqueues a bare
+// pointer instead of allocating a closure per message.
+type loopItem struct {
+	fn func()
+	m  *wire.Msg
 }
 
 func newNode(site int, start time.Time) *node {
@@ -31,7 +41,11 @@ func newNode(site int, start time.Time) *node {
 	return n
 }
 
-// startLoop runs the actor loop; call after eng and tr are set.
+// startLoop runs the actor loop; call after eng and tr are set. Each
+// wakeup drains the whole inbox: the queue is swapped out under the
+// lock and processed as one batch, with the drained backing array
+// recycled so a steady message stream costs no allocation and one
+// lock round trip per batch rather than per message.
 func (n *node) startLoop() {
 	go func() {
 		defer close(n.done)
@@ -45,28 +59,45 @@ func (n *node) startLoop() {
 				return
 			}
 			batch := n.ops
-			n.ops = nil
+			n.ops = n.spare[:0]
+			n.spare = nil
 			n.mu.Unlock()
-			for _, fn := range batch {
-				fn()
+			for i, it := range batch {
+				if it.m != nil {
+					n.eng.Deliver(it.m)
+				} else {
+					it.fn()
+				}
+				batch[i] = loopItem{}
 			}
+			n.mu.Lock()
+			if n.spare == nil {
+				n.spare = batch[:0]
+			}
+			n.mu.Unlock()
 		}
 	}()
+}
+
+// enqueue adds one item to the actor inbox; it reports whether the
+// item was accepted (after close everything is dropped).
+func (n *node) enqueue(it loopItem) bool {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return false
+	}
+	n.ops = append(n.ops, it)
+	n.cond.Signal()
+	n.mu.Unlock()
+	return true
 }
 
 // post queues fn on the actor loop. It never blocks, so it is safe to
 // call from within the loop itself (engine callbacks). It reports
 // whether the op was accepted; after close it is dropped.
 func (n *node) post(fn func()) bool {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return false
-	}
-	n.ops = append(n.ops, fn)
-	n.cond.Signal()
-	n.mu.Unlock()
-	return true
+	return n.enqueue(loopItem{fn: fn})
 }
 
 // call runs fn on the loop and waits for it to finish.
@@ -92,9 +123,10 @@ func (n *node) close() {
 }
 
 // deliver is the transport handler: it hands a received message to the
-// engine on the loop.
+// engine on the loop. The message rides the inbox as a bare pointer —
+// no per-message closure — and the loop feeds it to the engine.
 func (n *node) deliver(m *wire.Msg) {
-	n.post(func() { n.eng.Deliver(m) })
+	n.enqueue(loopItem{m: m})
 }
 
 // nodeEnv adapts the node to core.Env. Live mode keeps real time and
