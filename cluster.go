@@ -22,6 +22,8 @@ type Cluster struct {
 	closer func() error
 	// chaos is the fault injector when Options.Chaos is set.
 	chaos *chaos.Injector
+	// debug is the debug HTTP server when Options.DebugAddr is set.
+	debug *debugServer
 
 	mu       sync.Mutex
 	registry *mem.Registry
@@ -42,6 +44,9 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if opts.Chaos != nil && opts.Reliability == nil {
 		return nil, fmt.Errorf("mirage: Options.Chaos requires Options.Reliability")
 	}
+	if opts.DebugAddr != "" && opts.Obs == nil {
+		return nil, fmt.Errorf("mirage: Options.DebugAddr requires Options.Obs")
+	}
 	c := &Cluster{
 		opts:     opts,
 		registry: mem.NewRegistry(opts.PageSize, opts.Delta, opts.MaxSegmentBytes),
@@ -56,6 +61,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		Policy:      opts.Policy,
 		Costs:       &core.Costs{}, // live nodes run at native speed
 		Reliability: opts.Reliability,
+		Obs:         opts.Obs,
 	}
 	if opts.TCP {
 		var meshes []*transport.TCPMesh
@@ -74,6 +80,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		}
 		for i, m := range meshes {
 			m.SetPeers(addrs)
+			m.SetObs(opts.Obs)
 			c.nodes[i].tr = m
 		}
 		c.closer = func() error {
@@ -91,6 +98,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 			handlers[i] = nd.deliver
 		}
 		mesh := transport.NewInprocMesh(handlers)
+		mesh.SetObs(opts.Obs)
 		for i := range c.nodes {
 			c.nodes[i].tr = mesh.Site(i)
 		}
@@ -99,10 +107,20 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 
 	if opts.Chaos != nil {
 		c.chaos = chaos.New(*opts.Chaos)
+		c.chaos.SetObs(opts.Obs)
 		now := func() time.Duration { return time.Since(start) }
 		for i, nd := range c.nodes {
 			nd.tr = chaos.WrapTransport(nd.tr, c.chaos, i, now)
 		}
+	}
+
+	if opts.DebugAddr != "" {
+		srv, err := startDebugServer(opts.DebugAddr, opts.Obs, n)
+		if err != nil {
+			c.closer()
+			return nil, err
+		}
+		c.debug = srv
 	}
 
 	for i, nd := range c.nodes {
@@ -126,6 +144,20 @@ func (c *Cluster) ChaosStats() (stats ChaosStats, ok bool) {
 		return ChaosStats{}, false
 	}
 	return c.chaos.Stats(), true
+}
+
+// Obs returns the cluster's observability sink, or nil when the
+// cluster runs without one.
+func (c *Cluster) Obs() *Obs { return c.opts.Obs }
+
+// DebugAddr returns the bound address of the debug HTTP server, or ""
+// when Options.DebugAddr was not set. Useful with an ephemeral listen
+// address ("127.0.0.1:0").
+func (c *Cluster) DebugAddr() string {
+	if c.debug == nil {
+		return ""
+	}
+	return c.debug.addr()
 }
 
 // Close shuts the cluster down: transports first (unblocking engines),
@@ -152,6 +184,11 @@ func (c *Cluster) Close() error {
 	err := c.closer()
 	for _, nd := range c.nodes {
 		nd.close()
+	}
+	if c.debug != nil {
+		if derr := c.debug.close(); err == nil {
+			err = derr
+		}
 	}
 	return err
 }

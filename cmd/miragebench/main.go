@@ -5,15 +5,22 @@
 // Usage:
 //
 //	miragebench [-e all|e1,e4,e5,...] [-dur 20s] [-quick] [-par N] [-out bench.json]
+//	            [-trace run.jsonl] [-metrics]
 //
 // Experiment IDs follow DESIGN.md's per-experiment index. -quick cuts
 // run lengths for a fast smoke pass. -par caps the sweep worker pool
 // (0 = GOMAXPROCS); results are identical at any setting. -out writes
 // a machine-readable benchmark record (wall times per experiment plus
 // the data-path microbenchmarks) to the given file.
+//
+// E16 re-runs the Figure 7 Δ-sweep with the observability layer on.
+// -trace saves the Δ = quantum point's protocol trace (schema-v1
+// JSONL, for miragetrace); -metrics prints each point's denial
+// histogram in full.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"mirage/internal/exp"
+	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/transport"
 	"mirage/internal/vaxmodel"
@@ -112,11 +120,13 @@ func microbench() map[string]string {
 }
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiment ids (e1..e14) or 'all'")
+	which := flag.String("e", "all", "comma-separated experiment ids (e1..e16) or 'all'")
 	dur := flag.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := flag.Bool("quick", false, "short runs for a smoke pass")
 	par := flag.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
 	out := flag.String("out", "", "write a JSON benchmark record to this file")
+	tracePath := flag.String("trace", "", "e16: write the Δ=quantum point's protocol trace (JSONL) to this file")
+	metrics := flag.Bool("metrics", false, "e16: print each point's full denial breakdown")
 	flag.Parse()
 
 	if *quick {
@@ -315,6 +325,52 @@ func main() {
 		t.WriteTo(os.Stdout)
 		fmt.Printf("same-seed replay identical: %v\n", r.ReplayMatches)
 		fmt.Println("paper: §10.0 \"the current implementation does not tolerate site failures\"; this sweep measures the cost of fixing that")
+	})
+
+	run("e16", "Figure 7 Δ-sweep under full observability (E16)", func() {
+		ticks := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		pts := exp.DeltaDenialSweep(*dur, ticks)
+		t := stats.NewTable("Δ (ticks)", "cycles/s", "denials", "retries", "mean remaining", "max remaining", "events")
+		for _, p := range pts {
+			events := bytes.Count(p.TraceJSONL, []byte{'\n'}) - 1 // minus the header line
+			t.Row(p.DeltaTicks, p.CyclesPerSec, p.Denials, p.Retries,
+				p.MeanRemaining.Round(10*time.Microsecond), p.MaxRemaining.Round(10*time.Microsecond), events)
+		}
+		t.WriteTo(os.Stdout)
+		fmt.Printf("crossover at Δ = 1 scheduling quantum (%d ticks, %v): denials fall as 1/Δ while the\n",
+			vaxmodel.QuantumTicks, vaxmodel.Quantum)
+		fmt.Println("remaining time at each denial grows with Δ; past the quantum the denied holder is")
+		fmt.Println("preempted before it can use the protected window, so the excess is pure latency")
+		if *metrics {
+			for _, p := range pts {
+				_, events, err := obs.ReadJSONL(bytes.NewReader(p.TraceJSONL))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "miragebench: reparse e16 trace: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("\nΔ=%d ticks denial breakdown:\n", p.DeltaTicks)
+				bs := obs.DenialBreakdown(events, 6)
+				if bs == nil {
+					fmt.Println("  (no denials)")
+					continue
+				}
+				for _, b := range bs {
+					fmt.Printf("  ≤%-12v %d\n", b.Upper, b.Count)
+				}
+			}
+		}
+		if *tracePath != "" {
+			for _, p := range pts {
+				if p.DeltaTicks != vaxmodel.QuantumTicks {
+					continue
+				}
+				if err := os.WriteFile(*tracePath, p.TraceJSONL, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "miragebench: write %s: %v\n", *tracePath, err)
+					os.Exit(1)
+				}
+				fmt.Printf("trace (Δ=%d ticks): %s\n", p.DeltaTicks, *tracePath)
+			}
+		}
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

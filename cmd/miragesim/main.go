@@ -11,18 +11,28 @@
 // Examples:
 //
 //	miragesim -workload pingpong -delta 33ms -dur 30s -yield=false
-//	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/refs.log
+//	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/run.jsonl
+//	miragesim -workload counters -delta 600ms -metrics
 //	miragesim -workload readers -sites 4 -delta 100ms
 //	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
 //	miragesim -workload counters -delta 600ms -runs 8
 //
+// -trace writes the run's protocol event timeline in the schema-v1
+// JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
+// summarize/timeline/chrome/denials. -reflog writes the library-site
+// reference log for miragetrace's page-heat analysis. -metrics dumps
+// the observability counter registry after the run.
+//
 // -runs N executes the scenario N times concurrently (one virtual
 // cluster each) and verifies every run produced identical results —
 // the simulator's determinism check, and a parallel speedup measure on
-// multi-core hosts.
+// multi-core hosts. With -trace the comparison includes a digest of
+// each run's serialized trace, so the timeline itself is checked for
+// bit-reproducibility (run 0's trace is the one written).
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +45,7 @@ import (
 	"mirage/internal/core"
 	"mirage/internal/exp"
 	"mirage/internal/ipc"
+	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/trace"
 )
@@ -48,7 +59,9 @@ func main() {
 	sites := flag.Int("sites", 2, "number of sites (readers workload)")
 	yield := flag.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
 	policy := flag.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
-	tracePath := flag.String("trace", "", "write the library's reference log to this file")
+	tracePath := flag.String("trace", "", "write the protocol event trace (schema-v1 JSONL) to this file")
+	reflogPath := flag.String("reflog", "", "write the library's reference log to this file")
+	metrics := flag.Bool("metrics", false, "dump the observability metrics registry after the run")
 	chaosSpec := flag.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
 	chaosSeed := flag.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	runs := flag.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
@@ -68,12 +81,12 @@ func main() {
 	if *runs < 1 {
 		log.Fatal("-runs must be at least 1")
 	}
-	if *runs > 1 && *tracePath != "" {
-		log.Fatal("-trace is incompatible with -runs > 1")
+	if *runs > 1 && *reflogPath != "" {
+		log.Fatal("-reflog is incompatible with -runs > 1")
 	}
 
 	var recorder *trace.Log
-	if *tracePath != "" {
+	if *reflogPath != "" {
 		recorder = trace.NewLog()
 	}
 
@@ -86,12 +99,21 @@ func main() {
 	}
 
 	// runOnce builds a fresh virtual cluster and drives the scenario to
-	// completion; every run is self-contained, so N of them can execute
-	// concurrently and must agree bit for bit.
-	runOnce := func() (string, *ipc.Cluster) {
+	// completion; every run is self-contained (own cluster, own obs
+	// sink), so N of them can execute concurrently and must agree bit
+	// for bit.
+	runOnce := func() (string, *ipc.Cluster, *obs.Obs) {
 		opts := core.Options{Policy: pol}
 		if recorder != nil {
 			opts.Tracer = recorder
+		}
+		var o *obs.Obs
+		if *tracePath != "" || *metrics {
+			o = obs.New()
+			if *tracePath == "" {
+				o.Tracer = nil // metrics only; skip event buffering
+			}
+			opts.Obs = o
 		}
 		var plan *chaos.Plan
 		if *chaosSpec != "" {
@@ -120,17 +142,19 @@ func main() {
 		default:
 			log.Fatalf("unknown workload %q", *workload)
 		}
-		return headline, c
+		return headline, c, o
 	}
 
 	var headline string
 	var c *ipc.Cluster
+	var o *obs.Obs
 	if *runs == 1 {
-		headline, c = runOnce()
+		headline, c, o = runOnce()
 	} else {
 		headlines := make([]string, *runs)
 		digests := make([]string, *runs)
 		clusters := make([]*ipc.Cluster, *runs)
+		sinks := make([]*obs.Obs, *runs)
 		start := time.Now()
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -140,10 +164,11 @@ func main() {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				h, cl := runOnce()
+				h, cl, oo := runOnce()
 				headlines[i] = h
-				digests[i] = h + " | " + digest(cl)
+				digests[i] = h + " | " + digest(cl) + traceDigest(cl, oo)
 				clusters[i] = cl
+				sinks[i] = oo
 			}(i)
 		}
 		wg.Wait()
@@ -162,6 +187,7 @@ func main() {
 		headline = headlines[0]
 		// The runs are interchangeable; show run 0's detailed stats.
 		c = clusters[0]
+		o = sinks[0]
 	}
 
 	fmt.Printf("workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
@@ -201,8 +227,34 @@ func main() {
 		h.WriteTo(os.Stdout)
 	}
 
-	if recorder != nil {
+	if *metrics && o != nil {
+		fmt.Println("\nmetrics registry:")
+		if _, err := o.Metrics.WriteTo(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *tracePath != "" && o != nil {
+		buf := o.Buffer()
 		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteJSONL(f, obs.NewHeader(obs.ClockVirtual, c.Sites()), buf.Events()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if d := buf.Dropped(); d > 0 {
+			note = fmt.Sprintf(" (%d dropped at the buffer cap)", d)
+		}
+		fmt.Printf("protocol trace: %d events -> %s%s (analyze with miragetrace summarize)\n", buf.Len(), *tracePath, note)
+	}
+
+	if recorder != nil {
+		f, err := os.Create(*reflogPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -212,8 +264,22 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("reference log: %d entries -> %s (analyze with miragetrace)\n", recorder.Len(), *tracePath)
+		fmt.Printf("reference log: %d entries -> %s (analyze with miragetrace reflog)\n", recorder.Len(), *reflogPath)
 	}
+}
+
+// traceDigest folds a run's serialized protocol trace into the -runs
+// comparison: a sha256 over the exact JSONL bytes, so any divergence in
+// event order, timing, or content between runs fails the check.
+func traceDigest(c *ipc.Cluster, o *obs.Obs) string {
+	if o == nil || o.Buffer() == nil {
+		return ""
+	}
+	h := sha256.New()
+	if err := obs.WriteJSONL(h, obs.NewHeader(obs.ClockVirtual, c.Sites()), o.Buffer().Events()); err != nil {
+		log.Fatal(err)
+	}
+	return fmt.Sprintf(" trace{sha256=%x}", h.Sum(nil))
 }
 
 // digest summarizes a finished cluster's observable state for the

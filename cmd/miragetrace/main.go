@@ -1,12 +1,27 @@
-// Command miragetrace analyzes a library-site reference log (§9.0):
-// per-page demand, inter-request intervals, migration advice (the
-// paper's envisioned "automatic process migration facility"), and
-// suggested per-page Δ values for the dynamic tuner.
+// Command miragetrace is the analysis front-end for Mirage's
+// observability artifacts. It reads the schema-v1 JSONL protocol
+// traces produced by miragesim -trace, miragebench -trace, or a live
+// cluster's /debug/obs/trace endpoint, plus the library-site reference
+// logs (§9.0) produced by miragesim -reflog.
 //
-// Produce a log with:
+// Subcommands:
 //
-//	miragesim -workload counters -delta 0 -trace refs.log
-//	miragetrace refs.log
+//	summarize <trace.jsonl>            event/page/denial totals
+//	timeline  [-seg N] [-page N] <trace.jsonl>
+//	                                   the event timeline, optionally
+//	                                   filtered to one page
+//	chrome    [-o out.json] <trace.jsonl>
+//	                                   convert to Chrome trace_event
+//	                                   JSON (load in chrome://tracing
+//	                                   or Perfetto)
+//	denials   [-buckets N] <trace.jsonl>
+//	                                   Δ-window denial breakdown by
+//	                                   remaining time
+//	reflog    [flags] <refs.log>       page heat, migration advice, and
+//	                                   suggested Δ from a reference log
+//
+// Invoking miragetrace with a bare file argument keeps the historical
+// behaviour and treats it as a reference log.
 package main
 
 import (
@@ -16,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/trace"
 	"mirage/internal/vaxmodel"
@@ -24,15 +40,159 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("miragetrace: ")
-	top := flag.Int("top", 20, "show the hottest N pages")
-	threshold := flag.Float64("migrate-threshold", 0.75, "dominant-site share that triggers migration advice")
-	minReq := flag.Int("migrate-min", 10, "minimum requests before advising migration")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: miragetrace [flags] <reference-log>")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "summarize":
+		cmdSummarize(os.Args[2:])
+	case "timeline":
+		cmdTimeline(os.Args[2:])
+	case "chrome":
+		cmdChrome(os.Args[2:])
+	case "denials":
+		cmdDenials(os.Args[2:])
+	case "reflog":
+		cmdReflog(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		// Historical interface: miragetrace [flags] <reference-log>.
+		cmdReflog(os.Args[1:])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: miragetrace <subcommand> [flags] <file>
+
+  summarize <trace.jsonl>                 event/page/denial totals
+  timeline  [-seg N] [-page N] <trace.jsonl>
+  chrome    [-o out.json] <trace.jsonl>   convert for chrome://tracing
+  denials   [-buckets N] <trace.jsonl>    Δ-denial remaining-time breakdown
+  reflog    [flags] <refs.log>            reference-log page-heat analysis
+`)
+	os.Exit(2)
+}
+
+// readTrace loads and validates one JSONL protocol trace.
+func readTrace(path string) (obs.Header, []obs.Event) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	hdr, events, err := obs.ReadJSONL(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return hdr, events
+}
+
+func oneArg(fs *flag.FlagSet) string {
+	if fs.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: miragetrace %s [flags] <file>\n", fs.Name())
+		os.Exit(2)
+	}
+	return fs.Arg(0)
+}
+
+func cmdSummarize(args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	fs.Parse(args)
+	hdr, events := readTrace(oneArg(fs))
+	fmt.Printf("trace: schema v%d, %s clock, %d sites\n", hdr.Version, hdr.Clock, hdr.Sites)
+	if _, err := obs.Summarize(events).WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func cmdTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	seg := fs.Int("seg", -1, "only this segment (-1 = all)")
+	page := fs.Int("page", -1, "only this page (-1 = all)")
+	fs.Parse(args)
+	_, events := readTrace(oneArg(fs))
+	for _, ev := range obs.Timeline(events, int32(*seg), int32(*page)) {
+		fmt.Println(obs.FormatEvent(ev))
+	}
+}
+
+func cmdChrome(args []string) {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	fs.Parse(args)
+	hdr, events := readTrace(oneArg(fs))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := obs.WriteChrome(w, hdr, events); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("%d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n", len(events), *out)
+	}
+}
+
+func cmdDenials(args []string) {
+	fs := flag.NewFlagSet("denials", flag.ExitOnError)
+	buckets := fs.Int("buckets", 8, "number of remaining-time buckets")
+	fs.Parse(args)
+	_, events := readTrace(oneArg(fs))
+	bs := obs.DenialBreakdown(events, *buckets)
+	if len(bs) == 0 {
+		fmt.Println("no Δ-window denials in the trace")
+		return
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	fmt.Printf("%d Δ-window denials by remaining window time:\n", total)
+	max := 0
+	for _, b := range bs {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	for _, b := range bs {
+		bar := ""
+		if max > 0 {
+			bar = barOf(40 * b.Count / max)
+		}
+		fmt.Printf("  ≤%-10v %6d  %s\n", b.Upper, b.Count, bar)
+	}
+}
+
+func barOf(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func cmdReflog(args []string) {
+	fs := flag.NewFlagSet("reflog", flag.ExitOnError)
+	top := fs.Int("top", 20, "show the hottest N pages")
+	threshold := fs.Float64("migrate-threshold", 0.75, "dominant-site share that triggers migration advice")
+	minReq := fs.Int("migrate-min", 10, "minimum requests before advising migration")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: miragetrace reflog [flags] <reference-log>")
+		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,11 +19,11 @@ import (
 )
 
 const (
-	sites     = 3
-	cellsPer  = 128 // cells per site; 128 × 4 B = exactly one 512 B page
+	sites      = 3
+	cellsPer   = 128 // cells per site; 128 × 4 B = exactly one 512 B page
 	iterations = 12
-	cellBytes = 4
-	scale     = 1000 // fixed-point: value 1.0 == 1000
+	cellBytes  = 4
+	scale      = 1000 // fixed-point: value 1.0 == 1000
 )
 
 func main() {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -58,6 +59,29 @@ type Injector struct {
 	plan  Plan
 	rng   *rand.Rand
 	stats Stats
+	obs   *obs.Obs
+}
+
+// SetObs attaches an observability sink: every verdict is then also
+// counted (and, when tracing, emitted as an EvChaos event attributed
+// to the sending site). Call before traffic starts.
+func (in *Injector) SetObs(o *obs.Obs) {
+	in.mu.Lock()
+	in.obs = o
+	in.mu.Unlock()
+}
+
+// observe records one verdict; called with in.mu held. Chaos verdicts
+// are timestamped with the send time the driver passed to Apply, so
+// simulator traces stay deterministic.
+func (in *Injector) observe(now time.Duration, from, to int, kind wire.Kind, c obs.Counter, verdict int64) {
+	in.obs.Count(from, c)
+	if in.obs.Tracing() {
+		in.obs.Emit(obs.Event{
+			T: now, Site: int32(from), Type: obs.EvChaos, Kind: kind,
+			From: int32(from), To: int32(to), Arg: verdict,
+		})
+	}
 }
 
 // New builds an injector for the plan. The plan is copied; a zero seed
@@ -113,12 +137,14 @@ func (in *Injector) Apply(now time.Duration, from, to int, kind wire.Kind) Actio
 	for _, c := range in.plan.Crashes {
 		if c.covers(now) && (c.Site == from || c.Site == to) {
 			in.stats.Crashed++
+			in.observe(now, from, to, kind, obs.CChaosCrash, obs.ChaosCrash)
 			return Action{Drop: true}
 		}
 	}
 	for _, p := range in.plan.Partitions {
 		if p.covers(now) && p.cut(from, to) {
 			in.stats.Partitioned++
+			in.observe(now, from, to, kind, obs.CChaosPartition, obs.ChaosPartition)
 			return Action{Drop: true}
 		}
 	}
@@ -138,6 +164,7 @@ func (in *Injector) Apply(now time.Duration, from, to int, kind wire.Kind) Actio
 		case OpDrop:
 			a.Drop = true
 			in.stats.Dropped++
+			in.observe(now, from, to, kind, obs.CChaosDrop, obs.ChaosDrop)
 		case OpDup:
 			n := r.Copies
 			if n < 1 {
@@ -145,6 +172,13 @@ func (in *Injector) Apply(now time.Duration, from, to int, kind wire.Kind) Actio
 			}
 			a.Dup += n
 			in.stats.Duplicated += n
+			in.obs.CountN(from, obs.CChaosDup, int64(n))
+			if in.obs.Tracing() {
+				in.obs.Emit(obs.Event{
+					T: now, Site: int32(from), Type: obs.EvChaos, Kind: kind,
+					From: int32(from), To: int32(to), Arg: obs.ChaosDup,
+				})
+			}
 		case OpDelay, OpReorder:
 			span := r.MaxDelay - r.MinDelay
 			d := r.MinDelay
@@ -153,6 +187,7 @@ func (in *Injector) Apply(now time.Duration, from, to int, kind wire.Kind) Actio
 			}
 			a.Delay += d
 			in.stats.Delayed++
+			in.observe(now, from, to, kind, obs.CChaosDelay, obs.ChaosDelay)
 		}
 	}
 	if a.Drop {

@@ -26,6 +26,7 @@ import (
 
 	"mirage/internal/mem"
 	"mirage/internal/mmu"
+	"mirage/internal/obs"
 	"mirage/internal/trace"
 	"mirage/internal/vaxmodel"
 	"mirage/internal/wire"
@@ -123,6 +124,10 @@ type Options struct {
 	HonorThreshold time.Duration // for PolicyHonorClose; default vaxmodel.ShortRTT
 	Costs          *Costs        // nil means DefaultCosts
 	Tracer         trace.Recorder
+	// Obs, when non-nil, receives protocol metrics and (if its Tracer
+	// is set) structured coherence events. nil — the default — keeps
+	// every hot path at a single pointer test and zero allocations.
+	Obs *obs.Obs
 	// Reliability, when non-nil, enables the reliable-delivery layer
 	// and the degraded-grant recovery paths (DESIGN.md §7). nil keeps
 	// the engine byte-identical to the paper reproduction, which
@@ -147,15 +152,15 @@ type Stats struct {
 	RequestsSent   int // read+write requests issued (incl. loopback)
 	PagesSent      int // KPageSend transmitted by this site
 	PagesReceived  int
-	Upgrades       int // in-place reader→writer grants received
-	Downgrades     int // writer→reader transitions at this site
-	InvalsReceived int // KInval handled as clock site
-	InvalOrders    int // KInvalOrder received (copy discarded)
-	BusyReplies    int // KBusy sent (window unexpired, PolicyRetry)
-	Retries        int // invalidations re-sent by the library
-	Already        int // requests found already satisfied
+	Upgrades       int           // in-place reader→writer grants received
+	Downgrades     int           // writer→reader transitions at this site
+	InvalsReceived int           // KInval handled as clock site
+	InvalOrders    int           // KInvalOrder received (copy discarded)
+	BusyReplies    int           // KBusy sent (window unexpired, PolicyRetry)
+	Retries        int           // invalidations re-sent by the library
+	Already        int           // requests found already satisfied
 	WindowWait     time.Duration // total time invalidations waited on Δ
-	Dropped        int // messages for unknown segments (post-destroy stragglers)
+	Dropped        int           // messages for unknown segments (post-destroy stragglers)
 
 	// Reliability-layer counters; all zero unless Options.Reliability
 	// is set.
@@ -212,6 +217,7 @@ type Engine struct {
 	rel   *rel                      // nil unless Options.Reliability set
 	stash map[pageKey][]byte        // clock-side frames captured per grant cycle
 	stats Stats
+	obs   *obs.Obs // nil when observability is off
 }
 
 // New creates an engine for env's site.
@@ -231,6 +237,7 @@ func New(env Env, opt Options) *Engine {
 		segs:  make(map[int32]*segNode),
 		pend:  make(map[pageKey]*pendingInval),
 		stash: make(map[pageKey][]byte),
+		obs:   opt.Obs,
 	}
 	if opt.Reliability != nil {
 		e.rel = newRel(e, *opt.Reliability)
@@ -240,6 +247,24 @@ func New(env Env, opt Options) *Engine {
 
 // Site returns the engine's site ID.
 func (e *Engine) Site() int { return e.site }
+
+// emit stamps the current time and this site onto ev and hands it to
+// the tracer. When tracing is off it is a pointer test and a return;
+// the Event value never escapes.
+func (e *Engine) emit(ev obs.Event) {
+	if !e.obs.Tracing() {
+		return
+	}
+	ev.T = e.env.Now()
+	ev.Site = int32(e.site)
+	e.obs.Emit(ev)
+}
+
+// markStale counts a tolerated out-of-cycle or inconsistent message.
+func (e *Engine) markStale() {
+	e.markStale()
+	e.obs.Count(e.site, obs.CStale)
+}
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -364,8 +389,12 @@ func (e *Engine) Fault(seg int32, page int32, write bool, pid int32, wake func()
 	}
 	if write {
 		e.stats.WriteFaults++
+		e.obs.Count(e.site, obs.CWriteFault)
+		e.emit(obs.Event{Type: obs.EvFault, Seg: seg, Page: page, Arg: 1})
 	} else {
 		e.stats.ReadFaults++
+		e.obs.Count(e.site, obs.CReadFault)
+		e.emit(obs.Event{Type: obs.EvFault, Seg: seg, Page: page})
 	}
 	sn.waiters[page] = append(sn.waiters[page], waiter{write: write, wake: wake})
 
@@ -462,6 +491,9 @@ func (e *Engine) receive(m *wire.Msg) {
 }
 
 func (e *Engine) handle(m *wire.Msg) {
+	e.obs.Count(e.site, obs.CMsgRecv)
+	e.emit(obs.Event{Type: obs.EvMsgRecv, Kind: m.Kind, Seg: m.Seg, Page: m.Page,
+		From: m.From, To: int32(e.site), Cycle: m.Cycle})
 	sn, ok := e.segs[m.Seg]
 	if !ok {
 		e.stats.Dropped++
@@ -507,6 +539,15 @@ func (e *Engine) send(to int, m *wire.Msg) {
 // transmit hands a message to the reliability layer when one is
 // configured; loopback always bypasses it (a site reaches itself).
 func (e *Engine) transmit(to int, m *wire.Msg) {
+	e.obs.Count(e.site, obs.CMsgSent)
+	switch m.Kind {
+	case wire.KPageSend:
+		e.obs.Count(e.site, obs.CPageSent)
+	case wire.KInval, wire.KInvalOrder:
+		e.obs.Count(e.site, obs.CInvalSent)
+	}
+	e.emit(obs.Event{Type: obs.EvMsgSend, Kind: m.Kind, Seg: m.Seg, Page: m.Page,
+		From: int32(e.site), To: int32(to), Cycle: m.Cycle})
 	if e.rel == nil || to == e.site {
 		e.env.Send(to, m)
 		return

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mirage/internal/mmu"
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -55,7 +56,7 @@ func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 		}
 		// Our copy is gone (dropped by an earlier degraded grant); the
 		// library's record is behind. Fail the whole batch back.
-		e.stats.Stale++
+		e.markStale()
 		mmu.SiteMask(m.Readers).ForEach(func(s int) {
 			e.send(int(sn.meta.Library), &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Read, Seg: m.Seg, Page: m.Page,
@@ -93,7 +94,7 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 			panic(fmt.Sprintf("core: site %d: inval for absent page: %v", e.site, m))
 		}
 		// Clock copy gone: the cycle cannot be honored here.
-		e.stats.Stale++
+		e.markStale()
 		e.send(int(sn.meta.Library), &wire.Msg{
 			Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 			Req: m.Req, Upgrade: m.Upgrade, Cycle: m.Cycle,
@@ -105,6 +106,12 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 	if rem := sn.m.WindowRemaining(p, now); rem > 0 && !insider {
 		// The window has not expired: §6.1 "the clock site replies
 		// immediately with the amount of time the library must wait".
+		// However the policy resolves it, this is a Δ denial — the
+		// datum behind the Δ-tuning analyses.
+		e.obs.Count(e.site, obs.CDeltaDenial)
+		e.obs.Observe(obs.HDenialRemaining, int64(rem))
+		e.emit(obs.Event{Type: obs.EvDeltaDeny, Seg: m.Seg, Page: m.Page,
+			Cycle: m.Cycle, Arg: int64(rem)})
 		switch e.opt.Policy {
 		case PolicyRetry:
 			e.stats.BusyReplies++
@@ -149,7 +156,7 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 			if e.rel == nil {
 				panic(fmt.Sprintf("core: site %d: downgrade of non-writable page: %v", e.site, m))
 			}
-			e.stats.Stale++
+			e.markStale()
 			e.send(int(sn.meta.Library), &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 				Req: -1, Cycle: m.Cycle,
@@ -158,6 +165,9 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		}
 		sn.m.Downgrade(p, now)
 		e.stats.Downgrades++
+		e.obs.Count(e.site, obs.CDowngrade)
+		e.emit(obs.Event{Type: obs.EvDowngrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 1})
 		a.Writer = mmu.NoWriter
 		a.Window = m.Delta
 		a.ReaderMask = mmu.MaskOf(e.site) | mmu.SiteMask(m.Readers)
@@ -188,6 +198,7 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		// The frame is captured even for upgrades (which don't ship it):
 		// it is the rollback/rehome copy should the grant fail.
 		data = sn.m.Invalidate(p)
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	}
 	a.ReaderMask = 0
 	a.Writer = mmu.NoWriter
@@ -218,6 +229,9 @@ func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
 			a.Writer = e.site
 			a.Window = m.Delta
 			e.stats.Upgrades++
+			e.obs.Count(e.site, obs.CUpgrade)
+			e.emit(obs.Event{Type: obs.EvUpgrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+			e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 2})
 			e.send(int(sn.meta.Library), &wire.Msg{
 				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 				Cycle: m.Cycle,
@@ -265,17 +279,19 @@ func (e *Engine) handleInvalOrder(sn *segNode, m *wire.Msg) {
 		a := sn.m.Aux(p)
 		a.ReaderMask = 0
 		a.Writer = mmu.NoWriter
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	}
 	e.send(int(m.From), &wire.Msg{Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 }
 
 // handleInvalAck collects discard confirmations at the clock site.
 func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
+	e.obs.Count(e.site, obs.CInvalAcked)
 	k := pageKey{m.Seg, m.Page}
 	pi, ok := e.pend[k]
 	if !ok || (e.rel != nil && m.Cycle != pi.m.Cycle) {
 		if e.rel != nil {
-			e.stats.Stale++
+			e.markStale()
 			return
 		}
 		panic(fmt.Sprintf("core: site %d: unexpected inval-ack: %v", e.site, m))
@@ -293,12 +309,16 @@ func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
 // completes its share of the grant cycle.
 func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 	e.stats.PagesReceived++
+	e.obs.Count(e.site, obs.CPageRecv)
 	p := int(m.Page)
 	now := e.env.Now()
 	prot := mmu.ReadOnly
+	state := int64(1)
 	if m.Mode == wire.Write {
 		prot = mmu.ReadWrite
+		state = 2
 	}
+	e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle, Arg: state})
 	if sn.m.Present(p) {
 		// A stale copy can exist if a read grant raced a later write
 		// request from this site; the incoming page is authoritative.
@@ -337,7 +357,7 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 		if sn.m.Prot(p) == mmu.ReadWrite {
 			// Raced duplicate: we are already the writer; complete the
 			// cycle anyway.
-			e.stats.Stale++
+			e.markStale()
 			e.send(int(sn.meta.Library), &wire.Msg{
 				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 			})
@@ -347,7 +367,7 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 		// the in-place upgrade cannot apply. The clock (the sender)
 		// holds the frame it captured for this cycle; ask it to rehome
 		// the page through the library.
-		e.stats.Stale++
+		e.markStale()
 		e.send(int(m.From), &wire.Msg{
 			Kind: wire.KGrantFail, Mode: wire.Write, Upgrade: true,
 			Seg: m.Seg, Page: m.Page, Req: int32(e.site), Cycle: m.Cycle,
@@ -361,6 +381,9 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 	a.Window = m.Delta
 	a.ReaderMask = 0
 	e.stats.Upgrades++
+	e.obs.Count(e.site, obs.CUpgrade)
+	e.emit(obs.Event{Type: obs.EvUpgrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+	e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 2})
 	e.send(int(sn.meta.Library), &wire.Msg{
 		Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 	})
@@ -373,6 +396,7 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 // handleAlready clears the satisfied request and lets waiters recheck.
 func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
 	e.stats.Already++
+	e.obs.Count(e.site, obs.CAlready)
 	if m.Mode == wire.Write {
 		sn.outW[m.Page] = false
 	} else {
@@ -385,7 +409,7 @@ func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
 		// by an earlier degraded grant). Shed the stale record entry;
 		// the refault's fresh request, queued behind this correction on
 		// the same circuit, then earns a real grant.
-		e.stats.Stale++
+		e.markStale()
 		e.send(int(sn.meta.Library), &wire.Msg{Kind: wire.KReleaseRead, Seg: m.Seg, Page: m.Page})
 	}
 	e.wakeWaiters(sn, m.Page)

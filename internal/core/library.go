@@ -6,6 +6,7 @@ import (
 
 	"mirage/internal/mem"
 	"mirage/internal/mmu"
+	"mirage/internal/obs"
 	"mirage/internal/trace"
 	"mirage/internal/wire"
 )
@@ -178,7 +179,7 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 			if e.rel != nil {
 				// A completion from an aborted cycle, or a duplicate that
 				// survived give-up: harmless once denial went out.
-				e.stats.Stale++
+				e.markStale()
 				return
 			}
 			panic(fmt.Sprintf("core: site %d: unexpected installed: %v", e.site, m))
@@ -192,13 +193,16 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 	case wire.KBusy:
 		if !p.busy || !p.grant.active || m.Cycle != p.cycle {
 			if e.rel != nil {
-				e.stats.Stale++
+				e.markStale()
 				return
 			}
 			panic(fmt.Sprintf("core: site %d: busy with no cycle: %v", e.site, m))
 		}
 		e.stats.Retries++
 		e.stats.WindowWait += m.Remaining
+		e.obs.Count(e.site, obs.CRetry)
+		e.emit(obs.Event{Type: obs.EvRetry, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
+			Arg: int64(m.Remaining)})
 		inval := p.grant.inval
 		p.cancelRetry = e.env.After(m.Remaining, func() {
 			// Guards for live mode, where a cancelled timer may already
@@ -305,6 +309,8 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) 
 	p.busy = true
 	p.pendingInstalls = batch.Count()
 	p.cycle++
+	e.obs.Count(e.site, obs.CGrantCycle)
+	e.emit(obs.Event{Type: obs.EvGrantStart, Seg: int32(sn.meta.ID), Page: page, Cycle: p.cycle})
 	if p.writer != mmu.NoWriter {
 		// Downgrade the writer; it becomes (and stays) the clock site.
 		p.grant = grantCycle{
@@ -334,6 +340,9 @@ func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
 	p.busy = true
 	p.pendingInstalls = 1
 	p.cycle++
+	e.obs.Count(e.site, obs.CGrantCycle)
+	e.emit(obs.Event{Type: obs.EvGrantStart, Seg: int32(sn.meta.ID), Page: page,
+		To: int32(to), Cycle: p.cycle, Arg: 1})
 	p.grant = grantCycle{
 		active: true, write: true, to: to,
 		inval: &wire.Msg{
@@ -353,6 +362,7 @@ func (e *Engine) libFinishCycle(sn *segNode, page int32) {
 	if !g.active {
 		panic("core: finishing inactive cycle")
 	}
+	e.emit(obs.Event{Type: obs.EvGrantEnd, Seg: int32(sn.meta.ID), Page: page, Cycle: p.cycle})
 	if g.write {
 		p.writer = g.to
 		p.readers = 0

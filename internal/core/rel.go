@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mirage/internal/mmu"
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -146,6 +147,10 @@ func (r *rel) arm(to int, p *relPeer, pd *relPending) {
 		}
 		pd.attempts++
 		r.e.stats.Retransmits++
+		r.e.obs.Count(r.e.site, obs.CRetransmit)
+		r.e.emit(obs.Event{Type: obs.EvRetransmit, Kind: pd.m.Kind,
+			Seg: pd.m.Seg, Page: pd.m.Page, From: int32(r.e.site), To: int32(to),
+			Cycle: pd.m.Cycle, Arg: int64(pd.m.Seq)})
 		r.e.env.Send(to, pd.m)
 		r.arm(to, p, pd)
 	})
@@ -167,6 +172,7 @@ func (r *rel) giveUp(to int, p *relPeer) {
 	p.epoch++
 	p.nextSeq = 1
 	r.e.stats.GaveUp++
+	r.e.obs.Count(r.e.site, obs.CGaveUp)
 	// React in send order: earlier messages set up state later ones
 	// depend on.
 	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
@@ -212,6 +218,7 @@ func (r *rel) onSequenced(m *wire.Msg) {
 	case m.Seq < p.rNext:
 		// Duplicate (retransmission raced the ack, or a chaos dup).
 		r.e.stats.DupDrops++
+		r.e.obs.Count(r.e.site, obs.CDupDrop)
 		r.ack(from, p)
 	case m.Seq == p.rNext:
 		p.rNext++
@@ -326,7 +333,7 @@ func (e *Engine) invalOrderFailed(sn *segNode, m *wire.Msg, to int) {
 	k := pageKey{m.Seg, m.Page}
 	pi, ok := e.pend[k]
 	if !ok {
-		e.stats.Stale++
+		e.markStale()
 		return
 	}
 	delete(e.pend, k)
@@ -402,6 +409,7 @@ func (e *Engine) failPage(sn *segNode, seg, page int32, err error) {
 		}
 		sn.pageErr[page] = err
 		e.stats.Degraded++
+		e.obs.Count(e.site, obs.CDegraded)
 	}
 	e.wakeWaiters(sn, page)
 }
@@ -468,6 +476,7 @@ func (e *Engine) reqProgress(sn *segNode, page int32) {
 // could not serve (a peer in the grant path is unreachable).
 func (e *Engine) handleDenied(sn *segNode, m *wire.Msg) {
 	e.stats.Denied++
+	e.obs.Count(e.site, obs.CDenied)
 	e.failPage(sn, m.Seg, m.Page, fmt.Errorf("%w: library denied %v of seg %d page %d", ErrUnreachable, m.Mode, m.Seg, m.Page))
 }
 
@@ -481,7 +490,7 @@ func (e *Engine) libAbortCycle(sn *segNode, page int32) {
 	}
 	p := &sn.lib.pages[page]
 	if !p.busy {
-		e.stats.Stale++
+		e.markStale()
 		return
 	}
 	g := p.grant
@@ -522,7 +531,7 @@ func (e *Engine) handleGrantFail(sn *segNode, m *wire.Msg) {
 	}
 	p := &sn.lib.pages[m.Page]
 	if !p.busy || !p.grant.active || m.Cycle != p.cycle {
-		e.stats.Stale++
+		e.markStale()
 		return
 	}
 	g := p.grant
@@ -530,7 +539,7 @@ func (e *Engine) handleGrantFail(sn *segNode, m *wire.Msg) {
 	case m.Mode == wire.Read && m.Req >= 0 && !g.write:
 		// One reader of the batch is unreachable; the rest proceed.
 		if !g.batch.Has(int(m.Req)) {
-			e.stats.Stale++
+			e.markStale()
 			return
 		}
 		p.grant.batch = g.batch.Remove(int(m.Req))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mirage/internal/mmu"
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -101,6 +102,7 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 		// content is unrecoverable. Zero-fill rather than wedge the page
 		// forever, and account for it honestly.
 		e.stats.Lost++
+		e.obs.Count(e.site, obs.CLost)
 		data = make([]byte, sn.meta.PageSize)
 	}
 	sn.m.Install(int(page), data, mmu.ReadWrite, now)

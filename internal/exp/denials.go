@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"bytes"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/ipc"
+	"mirage/internal/obs"
+	"mirage/internal/vaxmodel"
+)
+
+// ---------------------------------------------------------------------------
+// E16 — the Figure 7 Δ-sweep re-run under full observability: metrics
+// registry on, protocol tracer on. Beyond the throughput curve, each
+// point reports what the denial histogram saw — how often the clock
+// site refused an invalidation inside an unexpired window, and how much
+// window time remained when it did. The remaining-time distribution is
+// what explains Figure 7's shape: past Δ = one scheduling quantum the
+// denial stops buying the holder CPU time it can use.
+
+// DeltaDenialPoint is one traced Δ setting of the two-site worst case.
+type DeltaDenialPoint struct {
+	DeltaTicks   int
+	CyclesPerSec float64
+
+	// From the metrics registry.
+	Denials       int64
+	Retries       int64
+	MeanRemaining time.Duration // mean Δ-window time left at denial
+	MaxRemaining  time.Duration
+
+	// TraceJSONL is the run's full protocol trace in the schema-v1
+	// JSONL encoding — a pure function of the virtual run, so it is
+	// byte-identical across repeats and worker counts.
+	TraceJSONL []byte
+}
+
+// DeltaDenialSweep runs the §7.2 worst case (yield variant) at each Δ
+// tick value with an observability sink attached, and returns per-point
+// throughput, denial statistics, and the serialized trace. Points run
+// in parallel (see Parallelism); each owns a private cluster and a
+// private sink, so results are deterministic at any worker count.
+func DeltaDenialSweep(dur time.Duration, ticks []int) []DeltaDenialPoint {
+	return sweep(ticks, func(k int) DeltaDenialPoint {
+		o := obs.New()
+		delta := time.Duration(k) * vaxmodel.ClockTick
+		c := ipc.NewCluster(2, ipc.Config{Delta: delta, Engine: core.Options{Obs: o}})
+		st := runPingPong(c, 0, 1, PingPongConfig{UseYield: true}, 512, dur)
+		c.Run()
+
+		h := o.Metrics.Hist(obs.HDenialRemaining)
+		p := DeltaDenialPoint{
+			DeltaTicks:    k,
+			CyclesPerSec:  float64(st.cycles) / dur.Seconds(),
+			Denials:       o.Metrics.Total(obs.CDeltaDenial),
+			Retries:       o.Metrics.Total(obs.CRetry),
+			MaxRemaining:  time.Duration(h.Max()),
+			MeanRemaining: time.Duration(h.Mean()),
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, obs.NewHeader(obs.ClockVirtual, c.Sites()), o.Buffer().Events()); err != nil {
+			panic(err) // bytes.Buffer cannot fail; a failure here is a bug
+		}
+		p.TraceJSONL = buf.Bytes()
+		return p
+	})
+}

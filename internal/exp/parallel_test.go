@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -35,6 +36,38 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ppa, ppb) {
 		t.Errorf("InvalidationAblation differs across parallelism:\n par=1: %+v\n par=4: %+v", ppa, ppb)
+	}
+}
+
+// The observability acceptance property: a traced run's serialized
+// protocol timeline — not just its aggregate counters — is
+// byte-identical at any worker count. This is what makes traces
+// diffable artifacts: two runs of the same scenario can be compared
+// with cmp(1).
+func TestDeltaDenialSweepTraceDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) []DeltaDenialPoint {
+		old := Parallelism
+		Parallelism = par
+		defer func() { Parallelism = old }()
+		return DeltaDenialSweep(500*time.Millisecond, []int{0, 2, 6})
+	}
+	a := run(1)
+	b := run(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("DeltaDenialSweep differs across parallelism")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].TraceJSONL, b[i].TraceJSONL) {
+			t.Errorf("point %d (Δ=%d ticks): trace bytes differ across parallelism", i, a[i].DeltaTicks)
+		}
+		if len(a[i].TraceJSONL) == 0 {
+			t.Errorf("point %d: empty trace", i)
+		}
+	}
+	// The traced points must see denials where Δ > 0 — otherwise the
+	// byte comparison is vacuous.
+	if a[1].Denials == 0 || a[2].Denials == 0 {
+		t.Errorf("expected Δ-window denials at Δ>0, got %d and %d", a[1].Denials, a[2].Denials)
 	}
 }
 

@@ -262,7 +262,7 @@ func TestDeniedUpgradeHealsClockRecord(t *testing.T) {
 	c.Site(0).Spawn("lib", 0, func(p *Proc) {
 		id, _ := p.Shmget(7, 512, mem.Create, rw)
 		h, _ := p.Shmat(id, false)
-		h.SetUint32(0, 100) // library is the writer...
+		h.SetUint32(0, 100)  // library is the writer...
 		p.Sleep(time.Second) // ...site 1 reads; now inside the partition
 		deniedErr = h.SetUint32(0, 150)
 		// Wait out the partition, then the same write must converge

@@ -22,6 +22,7 @@ import (
 	"mirage/internal/mem"
 	"mirage/internal/mmu"
 	"mirage/internal/netsim"
+	"mirage/internal/obs"
 	"mirage/internal/sched"
 	"mirage/internal/sim"
 	"mirage/internal/stats"
@@ -94,6 +95,10 @@ type Cluster struct {
 	// from the first fault to the access completing (§9.0-style
 	// observability; printed by cmd/miragesim).
 	FaultLatency *stats.Histogram
+
+	// obs mirrors Config.Engine.Obs for the access layer's fault
+	// latency histogram; nil when observability is off.
+	obs *obs.Obs
 }
 
 // Site is one machine.
@@ -147,10 +152,13 @@ func NewCluster(n int, cfg Config) *Cluster {
 		semsByKey:    make(map[mem.Key]*semSet),
 		nextSem:      1,
 		FaultLatency: stats.NewLatencyHistogram(),
+		obs:          cfg.Engine.Obs,
 	}
 	c.Net = netsim.New(c.K, n)
+	c.Net.Obs = cfg.Engine.Obs
 	if cfg.Chaos != nil {
 		c.Chaos = chaos.New(*cfg.Chaos)
+		c.Chaos.SetObs(cfg.Engine.Obs)
 		chaos.WrapNetwork(c.Net, c.Chaos, func() time.Duration { return c.K.Now().Duration() })
 	}
 	for i := 0; i < n; i++ {
@@ -363,7 +371,9 @@ func (h *Shm) access(off, n int, write bool, fn func(frame []byte, frameOff, buf
 			}
 		}
 		if faultStart >= 0 {
-			h.proc.site.c.FaultLatency.Observe(h.proc.Now() - faultStart)
+			lat := h.proc.Now() - faultStart
+			h.proc.site.c.FaultLatency.Observe(lat)
+			h.proc.site.c.obs.Observe(obs.HFaultLatency, int64(lat))
 		}
 		fn(eng.Frame(segID, int32(page)), fo, bufOff, k)
 		off += k

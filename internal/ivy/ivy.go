@@ -34,16 +34,16 @@ import (
 type kind uint8
 
 const (
-	kInvalid kind = iota
-	kReadReq      // requester -> manager
-	kWriteReq     // requester -> manager
-	kForward      // manager -> owner: send page to Req with Mode
-	kInvalidate   // manager -> copy holder
-	kInvAck       // holder -> manager
-	kPage         // owner -> requester (data)
-	kConfirm      // requester -> manager: transfer complete
-	kRelease      // holder -> manager on detach (data for owners)
-	kReleaseDone  // manager -> holder
+	kInvalid     kind = iota
+	kReadReq          // requester -> manager
+	kWriteReq         // requester -> manager
+	kForward          // manager -> owner: send page to Req with Mode
+	kInvalidate       // manager -> copy holder
+	kInvAck           // holder -> manager
+	kPage             // owner -> requester (data)
+	kConfirm          // requester -> manager: transfer complete
+	kRelease          // holder -> manager on detach (data for owners)
+	kReleaseDone      // manager -> holder
 )
 
 func (k kind) String() string {

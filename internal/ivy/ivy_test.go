@@ -81,8 +81,8 @@ func TestIvyWriteShipsPageEvenToReader(t *testing.T) {
 		p.Sleep(100 * time.Millisecond)
 		id, _ := p.Shmget(7, 512, 0, 0)
 		h, _ := p.Shmat(id, false)
-		h.Uint32(0)        // read copy
-		h.SetUint32(0, 6)  // upgrade: IVY ships the page again
+		h.Uint32(0)       // read copy
+		h.SetUint32(0, 6) // upgrade: IVY ships the page again
 		p.Sleep(2 * time.Second)
 	})
 	c.Run()

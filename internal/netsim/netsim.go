@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"mirage/internal/obs"
 	"mirage/internal/sim"
 	"mirage/internal/vaxmodel"
 )
@@ -94,6 +95,10 @@ type Network struct {
 	// SideElapsed computes the per-side elapsed cost of a message.
 	// Defaults to vaxmodel.MsgSideElapsed.
 	SideElapsed func(payload int) time.Duration
+
+	// Obs, if non-nil, receives per-site delivery counters
+	// (net_delivered / net_bytes, attributed to the receiving site).
+	Obs *obs.Obs
 }
 
 // New creates a network of n sites on kernel k.
@@ -207,6 +212,8 @@ func (n *Network) deliverNow(m Message) {
 			n.stats.ShortMsgs++
 		}
 		n.stats.Bytes += m.Size
+		n.Obs.Count(int(m.To), obs.CNetDelivered)
+		n.Obs.CountN(int(m.To), obs.CNetByte, int64(m.Size))
 	}
 	h(m)
 }

@@ -1,0 +1,434 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonic per-site counter in a Registry.
+type Counter uint8
+
+// The counter vocabulary. Every coherence event the protocol can
+// produce has a counter; units are plain event counts unless the name
+// says bytes. docs/OBSERVABILITY.md carries the prose definitions.
+const (
+	// Protocol faults and message flow.
+	CReadFault Counter = iota
+	CWriteFault
+	CMsgSent
+	CMsgRecv
+	CPageSent
+	CPageRecv
+	// Library grant machinery.
+	CGrantCycle
+	CInvalSent
+	CInvalAcked
+	CUpgrade
+	CDowngrade
+	// Δ-window interactions.
+	CDeltaDenial
+	CRetry
+	CAlready
+	// Reliability (ARQ) layer.
+	CRetransmit
+	CDupDrop
+	CGaveUp
+	CDenied
+	CDegraded
+	CStale
+	CLost
+	// Chaos (fault-injection) verdicts.
+	CChaosDrop
+	CChaosDup
+	CChaosDelay
+	CChaosPartition
+	CChaosCrash
+	// Transport batching.
+	CFlushBatch
+	CFlushFrame
+	CFlushByte
+	// Simulated fabric delivery.
+	CNetDelivered
+	CNetByte
+
+	counterCount
+)
+
+var counterNames = [...]string{
+	CReadFault:      "read_faults",
+	CWriteFault:     "write_faults",
+	CMsgSent:        "msgs_sent",
+	CMsgRecv:        "msgs_recv",
+	CPageSent:       "pages_sent",
+	CPageRecv:       "pages_recv",
+	CGrantCycle:     "grant_cycles",
+	CInvalSent:      "invals_sent",
+	CInvalAcked:     "invals_acked",
+	CUpgrade:        "upgrades",
+	CDowngrade:      "downgrades",
+	CDeltaDenial:    "delta_denials",
+	CRetry:          "retries",
+	CAlready:        "already_held",
+	CRetransmit:     "retransmits",
+	CDupDrop:        "dup_drops",
+	CGaveUp:         "gave_up",
+	CDenied:         "denied",
+	CDegraded:       "degraded",
+	CStale:          "stale",
+	CLost:           "lost",
+	CChaosDrop:      "chaos_drops",
+	CChaosDup:       "chaos_dups",
+	CChaosDelay:     "chaos_delays",
+	CChaosPartition: "chaos_partitioned",
+	CChaosCrash:     "chaos_crashed",
+	CFlushBatch:     "flush_batches",
+	CFlushFrame:     "flush_frames",
+	CFlushByte:      "flush_bytes",
+	CNetDelivered:   "net_delivered",
+	CNetByte:        "net_bytes",
+}
+
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(c))
+}
+
+// Counters lists every counter in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, counterCount)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// MaxSites is the registry's site capacity; it matches the cluster
+// size cap on the public API.
+const MaxSites = 64
+
+// shard holds one site's counters on its own cache lines so sites
+// never contend on increments.
+type shard struct {
+	v [counterCount]atomic.Int64
+	_ [64]byte
+}
+
+// HistID identifies one histogram in a Registry.
+type HistID uint8
+
+// The histogram vocabulary.
+const (
+	// HDenialRemaining: remaining Δ-window time (ns) at each denial.
+	HDenialRemaining HistID = iota
+	// HFaultLatency: fault-to-resume latency (ns) at the faulting site.
+	HFaultLatency
+	// HFlushFrames: frames per transport write-batch flush.
+	HFlushFrames
+	// HFlushBytes: bytes per transport write-batch flush.
+	HFlushBytes
+
+	histCount
+)
+
+var histNames = [...]string{
+	HDenialRemaining: "denial_remaining_ns",
+	HFaultLatency:    "fault_latency_ns",
+	HFlushFrames:     "flush_frames_per_batch",
+	HFlushBytes:      "flush_bytes_per_batch",
+}
+
+func (h HistID) String() string {
+	if int(h) < len(histNames) {
+		return histNames[h]
+	}
+	return fmt.Sprintf("hist(%d)", uint8(h))
+}
+
+// histBuckets is the shared fixed bucket geometry: powers of two.
+// Duration-valued histograms start at 1ms and size-valued ones at 1,
+// but both use upper bounds ub[i] = lo << i with a final +Inf bucket,
+// so one atomic layout serves every histogram.
+const histBucketCount = 24
+
+var histLow = [histCount]int64{
+	HDenialRemaining: int64(time.Millisecond),
+	HFaultLatency:    int64(time.Millisecond),
+	HFlushFrames:     1,
+	HFlushBytes:      1,
+}
+
+// Hist is a fixed-bucket, lock-free histogram. Buckets double from the
+// configured low bound; samples above the last bound land in the
+// overflow bucket.
+type Hist struct {
+	lo      int64
+	buckets [histBucketCount + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	ub := h.lo
+	for i := 0; i < histBucketCount; i++ {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+		ub <<= 1
+	}
+	h.buckets[histBucketCount].Add(1)
+}
+
+// Count returns the number of samples recorded.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Hist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from
+// the bucket boundaries, or 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	ub := h.lo
+	for i := 0; i < histBucketCount; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return ub
+		}
+		ub <<= 1
+	}
+	return h.max.Load()
+}
+
+// HistSnapshot is a point-in-time copy of one histogram, JSON-friendly.
+type HistSnapshot struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	Bounds  []int64 `json:"bounds,omitempty"`  // upper bounds of non-empty buckets
+	Buckets []int64 `json:"buckets,omitempty"` // counts matching Bounds; last may be overflow (bound -1)
+}
+
+// Snapshot copies the histogram's current state, keeping only
+// non-empty buckets.
+func (h *Hist) snapshot(name string) HistSnapshot {
+	s := HistSnapshot{Name: name, Count: h.Count(), Sum: h.Sum(), Max: h.Max(), Mean: h.Mean()}
+	ub := h.lo
+	for i := 0; i <= histBucketCount; i++ {
+		n := h.buckets[i].Load()
+		bound := ub
+		if i == histBucketCount {
+			bound = -1 // overflow
+		}
+		if n > 0 {
+			s.Bounds = append(s.Bounds, bound)
+			s.Buckets = append(s.Buckets, n)
+		}
+		ub <<= 1
+	}
+	return s
+}
+
+// Registry is the sharded metrics store: one cache-line-isolated shard
+// of monotonic counters per site plus a small set of global histograms.
+// All methods are safe for concurrent use and increments are a single
+// atomic add — cheap enough to leave on in live mode.
+type Registry struct {
+	shards [MaxSites]shard
+	hists  [histCount]Hist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.hists {
+		r.hists[i].lo = histLow[i]
+	}
+	return r
+}
+
+// Inc adds one to counter c for site. Out-of-range sites fold into
+// shard 0 rather than panicking — metrics must never take a run down.
+func (r *Registry) Inc(site int, c Counter) { r.Add(site, c, 1) }
+
+// Add adds n to counter c for site.
+func (r *Registry) Add(site int, c Counter, n int64) {
+	if site < 0 || site >= MaxSites {
+		site = 0
+	}
+	r.shards[site].v[c].Add(n)
+}
+
+// Get returns counter c for one site.
+func (r *Registry) Get(site int, c Counter) int64 {
+	if site < 0 || site >= MaxSites {
+		site = 0
+	}
+	return r.shards[site].v[c].Load()
+}
+
+// Total returns counter c summed across all sites.
+func (r *Registry) Total(c Counter) int64 {
+	var t int64
+	for i := range r.shards {
+		t += r.shards[i].v[c].Load()
+	}
+	return t
+}
+
+// Hist returns the identified histogram for direct observation.
+func (r *Registry) Hist(id HistID) *Hist { return &r.hists[id] }
+
+// Observe records one sample into the identified histogram.
+func (r *Registry) Observe(id HistID, v int64) { r.hists[id].Observe(v) }
+
+// Snapshot is a point-in-time, JSON-friendly copy of a Registry.
+// Totals holds every counter (zeros included, so consumers see the
+// full vocabulary); PerSite keeps only non-zero entries for sites that
+// recorded anything.
+type Snapshot struct {
+	Totals  map[string]int64            `json:"totals"`
+	PerSite map[string]map[string]int64 `json:"per_site,omitempty"`
+	Hists   []HistSnapshot              `json:"hists,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Totals: make(map[string]int64, int(counterCount))}
+	for c := Counter(0); c < counterCount; c++ {
+		s.Totals[c.String()] = r.Total(c)
+	}
+	for site := 0; site < MaxSites; site++ {
+		var m map[string]int64
+		for c := Counter(0); c < counterCount; c++ {
+			if v := r.shards[site].v[c].Load(); v != 0 {
+				if m == nil {
+					m = make(map[string]int64)
+				}
+				m[c.String()] = v
+			}
+		}
+		if m != nil {
+			if s.PerSite == nil {
+				s.PerSite = make(map[string]map[string]int64)
+			}
+			s.PerSite[fmt.Sprintf("site%d", site)] = m
+		}
+	}
+	for id := HistID(0); id < histCount; id++ {
+		if r.hists[id].Count() > 0 {
+			s.Hists = append(s.Hists, r.hists[id].snapshot(id.String()))
+		}
+	}
+	return s
+}
+
+// WriteTo prints a human-readable dump of every non-zero counter
+// (totals plus per-site breakdown) and every non-empty histogram, in
+// deterministic order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	pf := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		written += int64(n)
+		return err
+	}
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Totals))
+	for name, v := range s.Totals {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		if err := pf("metrics: no events recorded\n"); err != nil {
+			return written, err
+		}
+		return written, nil
+	}
+	sites := make([]string, 0, len(s.PerSite))
+	for site := range s.PerSite {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		return len(sites[i]) < len(sites[j]) || (len(sites[i]) == len(sites[j]) && sites[i] < sites[j])
+	})
+	for _, name := range names {
+		if err := pf("%-24s %12d", name, s.Totals[name]); err != nil {
+			return written, err
+		}
+		parts := ""
+		for _, site := range sites {
+			if v, ok := s.PerSite[site][name]; ok {
+				parts += fmt.Sprintf(" %s=%d", site, v)
+			}
+		}
+		if err := pf("  %s\n", parts); err != nil {
+			return written, err
+		}
+	}
+	for _, hs := range s.Hists {
+		if err := pf("%s: n=%d mean=%.1f max=%d\n", hs.Name, hs.Count, hs.Mean, hs.Max); err != nil {
+			return written, err
+		}
+		for i, b := range hs.Bounds {
+			label := fmt.Sprintf("≤%d", b)
+			if b == -1 {
+				label = fmt.Sprintf(">%d", histLowBound(hs.Name))
+			}
+			if err := pf("  %-16s %d\n", label, hs.Buckets[i]); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// histLowBound recovers a histogram's largest finite bucket bound from
+// its name, for labeling the overflow bucket in dumps.
+func histLowBound(name string) int64 {
+	for id := HistID(0); id < histCount; id++ {
+		if id.String() == name {
+			return histLow[id] << (histBucketCount - 1)
+		}
+	}
+	return 0
+}

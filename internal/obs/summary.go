@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a trace: per-type event counts, per-kind message
+// counts, per-page activity, and the span of time covered. It is the
+// data behind `miragetrace summarize`.
+type Summary struct {
+	Events    int
+	Span      time.Duration
+	ByType    map[EvType]int
+	ByKind    map[string]int // message kind name → sends
+	Pages     []PageSummary
+	Denials   int
+	DenialSum time.Duration // total remaining-window time across denials
+	DenialMax time.Duration
+}
+
+// PageSummary is one page's activity totals within a trace.
+type PageSummary struct {
+	Seg, Page  int32
+	Faults     int
+	Grants     int
+	Upgrades   int
+	Downgrades int
+	Denials    int
+}
+
+// Summarize reduces a trace to its Summary.
+func Summarize(events []Event) Summary {
+	s := Summary{ByType: make(map[EvType]int), ByKind: make(map[string]int)}
+	pages := make(map[[2]int32]*PageSummary)
+	page := func(ev Event) *PageSummary {
+		k := [2]int32{ev.Seg, ev.Page}
+		p := pages[k]
+		if p == nil {
+			p = &PageSummary{Seg: ev.Seg, Page: ev.Page}
+			pages[k] = p
+		}
+		return p
+	}
+	for _, ev := range events {
+		s.Events++
+		if ev.T > s.Span {
+			s.Span = ev.T
+		}
+		s.ByType[ev.Type]++
+		switch ev.Type {
+		case EvMsgSend:
+			s.ByKind[ev.Kind.String()]++
+		case EvFault:
+			page(ev).Faults++
+		case EvGrantStart:
+			page(ev).Grants++
+		case EvUpgrade:
+			page(ev).Upgrades++
+		case EvDowngrade:
+			page(ev).Downgrades++
+		case EvDeltaDeny:
+			page(ev).Denials++
+			s.Denials++
+			rem := time.Duration(ev.Arg)
+			s.DenialSum += rem
+			if rem > s.DenialMax {
+				s.DenialMax = rem
+			}
+		}
+	}
+	for _, p := range pages {
+		s.Pages = append(s.Pages, *p)
+	}
+	sort.Slice(s.Pages, func(i, j int) bool {
+		if s.Pages[i].Seg != s.Pages[j].Seg {
+			return s.Pages[i].Seg < s.Pages[j].Seg
+		}
+		return s.Pages[i].Page < s.Pages[j].Page
+	})
+	return s
+}
+
+// WriteTo prints the summary in a fixed human-readable layout.
+func (s Summary) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	pf := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		written += int64(n)
+		return err
+	}
+	if err := pf("%d events over %v\n", s.Events, s.Span.Round(time.Millisecond)); err != nil {
+		return written, err
+	}
+	for t := EvInvalid + 1; t < evTypeCount; t++ {
+		if n := s.ByType[t]; n > 0 {
+			if err := pf("  %-12s %d\n", t.String(), n); err != nil {
+				return written, err
+			}
+		}
+	}
+	if len(s.ByKind) > 0 {
+		if err := pf("message sends by kind:\n"); err != nil {
+			return written, err
+		}
+		kinds := make([]string, 0, len(s.ByKind))
+		for k := range s.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			if err := pf("  %-12s %d\n", k, s.ByKind[k]); err != nil {
+				return written, err
+			}
+		}
+	}
+	if len(s.Pages) > 0 {
+		if err := pf("per-page activity:\n"); err != nil {
+			return written, err
+		}
+		for _, p := range s.Pages {
+			if err := pf("  seg%d/p%d: %d faults, %d grants, %d upgrades, %d downgrades, %d Δ-denials\n",
+				p.Seg, p.Page, p.Faults, p.Grants, p.Upgrades, p.Downgrades, p.Denials); err != nil {
+				return written, err
+			}
+		}
+	}
+	if s.Denials > 0 {
+		mean := s.DenialSum / time.Duration(s.Denials)
+		if err := pf("Δ denials: %d, mean remaining %v, max %v\n",
+			s.Denials, mean.Round(10*time.Microsecond), s.DenialMax.Round(10*time.Microsecond)); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Timeline filters a trace to one page's events, in order. Pass
+// seg = -1 or page = -1 to wildcard that coordinate.
+func Timeline(events []Event, seg, page int32) []Event {
+	var out []Event
+	for _, ev := range events {
+		if (seg < 0 || ev.Seg == seg) && (page < 0 || ev.Page == page) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FormatEvent renders one event as a fixed-width timeline line.
+func FormatEvent(ev Event) string {
+	detail := ""
+	switch ev.Type {
+	case EvMsgSend, EvMsgRecv, EvRetransmit:
+		detail = fmt.Sprintf("%s %d→%d", ev.Kind, ev.From, ev.To)
+	case EvFault:
+		if ev.Arg == 1 {
+			detail = "write"
+		} else {
+			detail = "read"
+		}
+	case EvDeltaDeny, EvRetry:
+		detail = fmt.Sprintf("remaining %v", time.Duration(ev.Arg).Round(10*time.Microsecond))
+	case EvPageState:
+		switch ev.Arg {
+		case 2:
+			detail = "write"
+		case 1:
+			detail = "read"
+		default:
+			detail = "invalid"
+		}
+	case EvGrantStart:
+		if ev.Arg == 1 {
+			detail = fmt.Sprintf("write → site %d", ev.To)
+		} else {
+			detail = "read batch"
+		}
+	case EvChaos:
+		switch ev.Arg {
+		case ChaosDup:
+			detail = "dup"
+		case ChaosDelay:
+			detail = "delay"
+		case ChaosPartition:
+			detail = "partition"
+		case ChaosCrash:
+			detail = "crash"
+		default:
+			detail = "drop"
+		}
+	}
+	line := fmt.Sprintf("%12v  site%-2d  seg%d/p%-3d  %-12s", ev.T, ev.Site, ev.Seg, ev.Page, ev.Type)
+	if ev.Cycle != 0 {
+		line += fmt.Sprintf("  [cycle %d]", ev.Cycle)
+	}
+	if detail != "" {
+		line += "  " + detail
+	}
+	return line
+}
+
+// DenialBucket is one row of a Δ-denial remaining-time breakdown.
+type DenialBucket struct {
+	Upper time.Duration // inclusive upper bound; -1 duration = overflow
+	Count int
+}
+
+// DenialBreakdown buckets EvDeltaDeny remaining times into the given
+// number of equal-width buckets across [0, max remaining]. It answers
+// the tuning question the paper's Δ discussion raises: how close were
+// denied invalidations to the window expiring?
+func DenialBreakdown(events []Event, buckets int) []DenialBucket {
+	if buckets < 1 {
+		buckets = 8
+	}
+	var rems []time.Duration
+	var max time.Duration
+	for _, ev := range events {
+		if ev.Type == EvDeltaDeny {
+			r := time.Duration(ev.Arg)
+			rems = append(rems, r)
+			if r > max {
+				max = r
+			}
+		}
+	}
+	if len(rems) == 0 {
+		return nil
+	}
+	width := max/time.Duration(buckets) + 1
+	out := make([]DenialBucket, buckets)
+	for i := range out {
+		out[i].Upper = width * time.Duration(i+1)
+	}
+	for _, r := range rems {
+		i := int(r / width)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		out[i].Count++
+	}
+	return out
+}

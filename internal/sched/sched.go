@@ -88,13 +88,13 @@ func (c Config) withDefaults() Config {
 
 // Stats are cumulative scheduler counters for one CPU.
 type Stats struct {
-	UserBusy    time.Duration // CPU time consumed by user Compute
-	KernelBusy  time.Duration // CPU time consumed by kernel work
-	SwitchBusy  time.Duration // dispatch (context switch + remap) time
-	Dispatches  int
-	Preemptions int // quantum expirations that switched tasks
-	Yields      int
-	KernelJobs  int
+	UserBusy        time.Duration // CPU time consumed by user Compute
+	KernelBusy      time.Duration // CPU time consumed by kernel work
+	SwitchBusy      time.Duration // dispatch (context switch + remap) time
+	Dispatches      int
+	Preemptions     int // quantum expirations that switched tasks
+	Yields          int
+	KernelJobs      int
 	KernelQueueWait time.Duration // total enqueue-to-start delay of kernel work
 }
 

@@ -119,16 +119,16 @@ type PageKey struct {
 
 // PageHeat summarizes demand for one page.
 type PageHeat struct {
-	Key        PageKey
-	Requests   int
-	Reads      int
-	Writes     int
-	Sites      int           // distinct requesting sites
-	MeanGap    time.Duration // mean inter-request interval (0 if <2 requests)
-	MinGap     time.Duration
-	FirstT     time.Duration
-	LastT      time.Duration
-	BySite     map[int32]int
+	Key           PageKey
+	Requests      int
+	Reads         int
+	Writes        int
+	Sites         int           // distinct requesting sites
+	MeanGap       time.Duration // mean inter-request interval (0 if <2 requests)
+	MinGap        time.Duration
+	FirstT        time.Duration
+	LastT         time.Duration
+	BySite        map[int32]int
 	DominantSite  int32   // site with the most requests
 	DominantShare float64 // its fraction of requests
 }
@@ -197,7 +197,7 @@ func Heat(l *Log) []PageHeat {
 // basis for an automatic process migration facility".
 type Advice struct {
 	Key    PageKey
-	Target int32  // site whose processes dominate demand for this page
+	Target int32 // site whose processes dominate demand for this page
 	Share  float64
 	Reason string
 }

@@ -116,3 +116,41 @@ func BenchmarkTCPMeshRoundTrip(b *testing.B) {
 		<-done
 	}
 }
+
+// TestInprocSteadyStateAllocFreeWithoutObs gates the observability
+// instrumentation's disabled cost on the in-process delivery path: with
+// no sink attached (the default), a steady-state send—enqueue—drain
+// cycle must stay allocation-free, exactly as it was before the obs
+// hooks existed. AllocsPerRun counts mallocs process-wide, so the drain
+// goroutine's work is included in the measurement.
+func TestInprocSteadyStateAllocFreeWithoutObs(t *testing.T) {
+	var delivered atomic.Int64
+	m := NewInprocMesh([]Handler{func(*wire.Msg) { delivered.Add(1) }})
+	defer m.Close()
+	p := m.Site(0)
+	msg := &wire.Msg{Kind: wire.KInval, Seg: 1, Page: 2}
+
+	// Warm the inbox so its recycled backing arrays have capacity for
+	// anything the measured loop can queue.
+	const warm = 512
+	for i := 0; i < warm; i++ {
+		if err := p.Send(0, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Minute)
+	for delivered.Load() < warm {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", delivered.Load(), warm)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if err := p.Send(0, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("inproc send with obs disabled: %v allocs/op, want 0", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -22,6 +23,8 @@ type inbox struct {
 	spare  []*wire.Msg // recycled batch backing array
 	closed bool
 	done   chan struct{}
+	site   int
+	obs    *obs.Obs // delivery-batch metrics sink; nil when off
 }
 
 // NewInprocMesh creates the mesh and starts delivery goroutines; the
@@ -29,12 +32,24 @@ type inbox struct {
 func NewInprocMesh(handlers []Handler) *InprocMesh {
 	m := &InprocMesh{}
 	for i := range handlers {
-		ib := &inbox{done: make(chan struct{})}
+		ib := &inbox{done: make(chan struct{}), site: i}
 		ib.cond = sync.NewCond(&ib.mu)
 		m.inboxes = append(m.inboxes, ib)
 		go ib.drain(handlers[i])
 	}
 	return m
+}
+
+// SetObs attaches an observability sink: each delivery batch a site's
+// drain goroutine swaps out is then counted (flush_batches /
+// flush_frames, attributed to the receiving site) and sized into the
+// flush-frames histogram.
+func (m *InprocMesh) SetObs(o *obs.Obs) {
+	for _, ib := range m.inboxes {
+		ib.mu.Lock()
+		ib.obs = o
+		ib.mu.Unlock()
+	}
 }
 
 // Site returns a Transport bound to the given sender site.
@@ -95,7 +110,11 @@ func (ib *inbox) drain(h Handler) {
 		batch := ib.queue
 		ib.queue = ib.spare[:0]
 		ib.spare = nil
+		o := ib.obs
 		ib.mu.Unlock()
+		o.Count(ib.site, obs.CFlushBatch)
+		o.CountN(ib.site, obs.CFlushFrame, int64(len(batch)))
+		o.Observe(obs.HFlushFrames, int64(len(batch)))
 		for i, m := range batch {
 			h(m)
 			batch[i] = nil // drop the reference; the engine owns it now

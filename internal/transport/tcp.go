@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"mirage/internal/obs"
 	"mirage/internal/wire"
 )
 
@@ -48,6 +49,18 @@ type TCPMesh struct {
 	errs    TCPErrors
 	onError func(error)
 	wg      sync.WaitGroup
+
+	obs *obs.Obs // batch-flush metrics sink; nil when observability is off
+}
+
+// SetObs attaches an observability sink: each writer-goroutine batch
+// flush is then counted (flush_batches / flush_frames / flush_bytes,
+// attributed to the sending site) and sized into the flush histograms.
+// Install before traffic starts.
+func (m *TCPMesh) SetObs(o *obs.Obs) {
+	m.mu.Lock()
+	m.obs = o
+	m.mu.Unlock()
 }
 
 // TCPErrors are a mesh's cumulative transport-fault counters.
@@ -323,6 +336,9 @@ func (c *tcpConn) writeLoop() {
 		c.out, c.offs = nil, nil
 		c.mu.Unlock()
 	}()
+	c.m.mu.Lock()
+	o := c.m.obs
+	c.m.mu.Unlock()
 	var batch []byte
 	var offs []int
 	for {
@@ -339,6 +355,12 @@ func (c *tcpConn) writeLoop() {
 		c.spareOut, c.spareOffs = nil, nil
 		c.space.Broadcast()
 		c.mu.Unlock()
+
+		o.Count(c.m.site, obs.CFlushBatch)
+		o.CountN(c.m.site, obs.CFlushFrame, int64(len(offs)))
+		o.CountN(c.m.site, obs.CFlushByte, int64(len(batch)))
+		o.Observe(obs.HFlushFrames, int64(len(offs)))
+		o.Observe(obs.HFlushBytes, int64(len(batch)))
 
 		rest := c.writeFrames(batch, offs, 0)
 		if rest > 0 {

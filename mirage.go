@@ -41,6 +41,7 @@ import (
 	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/mem"
+	"mirage/internal/obs"
 	"mirage/internal/vaxmodel"
 )
 
@@ -93,6 +94,27 @@ type ChaosStats = chaos.Stats
 // "seed=42; drop p=0.05 kind=page-send; delay p=0.3 max=20ms;
 // partition sites=1,2 from=2s until=3s".
 func ParseFaultPlan(s string) (*FaultPlan, error) { return chaos.Parse(s) }
+
+// Obs is a cluster-wide observability sink: a sharded metrics registry
+// counting every coherence event (faults, invalidations, Δ-window
+// denials, retransmits, chaos verdicts, flush batches) plus an optional
+// structured protocol-event tracer. Attach one via Options.Obs; nil —
+// the default — keeps every hot path at a single pointer test and zero
+// allocations. See docs/OBSERVABILITY.md for the event vocabulary, the
+// JSONL trace schema, and metric names.
+type Obs = obs.Obs
+
+// TraceEvent is one structured protocol event: a page fault, message
+// send/receive, grant-cycle boundary, Δ denial, page state transition,
+// retransmission, or chaos verdict. Live clusters timestamp events with
+// wall-clock time since cluster start; the simulator uses virtual time,
+// which makes its traces bit-reproducible.
+type TraceEvent = obs.Event
+
+// NewObs builds an observability sink with metrics and an in-memory
+// bounded trace buffer (obs.DefaultBufferCap events; older events are
+// kept, new ones dropped and counted once full).
+func NewObs() *Obs { return obs.New() }
 
 // Errors surfaced by segment handles.
 var (
@@ -152,6 +174,20 @@ type Options struct {
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.
 	Chaos *FaultPlan
+	// Obs, when non-nil, attaches an observability sink: protocol
+	// counters and latency histograms for every site, and — when the
+	// sink carries a tracer, as NewObs's does — a structured event
+	// timeline of page faults, grant cycles, invalidations, and Δ-window
+	// denials. nil (the default) disables observability entirely; the
+	// protocol hot paths then cost one pointer test and zero
+	// allocations.
+	Obs *Obs
+	// DebugAddr, when non-empty, serves debug HTTP on the address
+	// (e.g. "127.0.0.1:0" for an ephemeral port): /debug/obs (metrics
+	// snapshot as JSON), /debug/obs/trace (the trace buffer as JSONL),
+	// plus the standard expvar and net/http/pprof endpoints. Requires
+	// Obs. The bound address is available from Cluster.DebugAddr.
+	DebugAddr string
 }
 
 func (o Options) withDefaults() Options {

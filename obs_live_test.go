@@ -1,0 +1,169 @@
+package mirage_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"mirage"
+	"mirage/internal/obs"
+)
+
+// driveSharing runs a small cross-site sharing workload: site 0 writes,
+// site 1 reads and writes back, enough to move pages both ways.
+func driveSharing(t *testing.T, c *mirage.Cluster) {
+	t.Helper()
+	s0 := c.Site(0)
+	id, err := s0.Shmget(mirage.IPCPrivate, 4096, mirage.Create, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s0.Attach(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Site(1).Attach(id, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.SetUint32(0, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := b.Uint32(0); err != nil || v != uint32(i) {
+			t.Fatalf("round %d: read %d, %v", i, v, err)
+		}
+		if _, err := b.AddUint32(4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLiveTracedRun is the live-mode half of the observability
+// acceptance criteria: a two-node cluster with an Obs attached produces
+// a trace that summarizes and Chrome-exports, and serves its metrics
+// and trace over the debug HTTP endpoints.
+func TestLiveTracedRun(t *testing.T) {
+	for _, tcp := range []bool{false, true} {
+		t.Run(map[bool]string{false: "inproc", true: "tcp"}[tcp], func(t *testing.T) {
+			o := mirage.NewObs()
+			c, err := mirage.NewCluster(2, mirage.Options{
+				Delta:     5 * time.Millisecond,
+				TCP:       tcp,
+				Obs:       o,
+				DebugAddr: "127.0.0.1:0",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			driveSharing(t, c)
+
+			// Counters: the workload must have produced cross-site traffic.
+			for _, want := range []obs.Counter{
+				obs.CReadFault, obs.CWriteFault, obs.CPageSent, obs.CGrantCycle, obs.CMsgSent,
+			} {
+				if o.Metrics.Total(want) == 0 {
+					t.Errorf("counter %v stayed zero", want)
+				}
+			}
+			if tcp && o.Metrics.Total(obs.CFlushBatch) == 0 {
+				t.Error("TCP flush batches not counted")
+			}
+
+			// Trace: summarize and Chrome-export from the live event buffer.
+			events := o.Buffer().Events()
+			if len(events) == 0 {
+				t.Fatal("no events traced")
+			}
+			sum := obs.Summarize(events)
+			if sum.ByType[obs.EvFault] == 0 || sum.ByType[obs.EvGrantStart] == 0 {
+				t.Errorf("summary missing faults or grants: %+v", sum.ByType)
+			}
+			var chrome bytes.Buffer
+			if err := obs.WriteChrome(&chrome, obs.NewHeader(obs.ClockWall, 2), events); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+				t.Fatalf("chrome export is not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("chrome export has no events")
+			}
+
+			// Debug HTTP: metrics snapshot and JSONL trace.
+			base := "http://" + c.DebugAddr()
+			var snap obs.Snapshot
+			getJSON(t, base+"/debug/obs", &snap)
+			if snap.Totals["read_faults"] == 0 {
+				t.Errorf("/debug/obs read_faults = 0; totals: %v", snap.Totals)
+			}
+			resp, err := http.Get(base + "/debug/obs/trace")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			hdr, traced, err := obs.ReadJSONL(resp.Body)
+			if err != nil {
+				t.Fatalf("/debug/obs/trace did not parse: %v", err)
+			}
+			if hdr.Clock != obs.ClockWall || hdr.Sites != 2 {
+				t.Errorf("trace header = %+v, want wall clock, 2 sites", hdr)
+			}
+			if len(traced) == 0 {
+				t.Error("/debug/obs/trace returned no events")
+			}
+			var vars map[string]json.RawMessage
+			getJSON(t, base+"/debug/vars", &vars)
+		})
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+// TestDebugAddrRequiresObs pins the constructor validation.
+func TestDebugAddrRequiresObs(t *testing.T) {
+	if _, err := mirage.NewCluster(2, mirage.Options{DebugAddr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("NewCluster accepted DebugAddr without Obs")
+	}
+}
+
+// TestObsOffByDefault: without an Obs, a cluster runs with a nil sink
+// end to end and Cluster.Obs reports that.
+func TestObsOffByDefault(t *testing.T) {
+	c, err := mirage.NewCluster(2, mirage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	driveSharing(t, c)
+	if c.Obs() != nil {
+		t.Fatal("Obs() non-nil without Options.Obs")
+	}
+	if c.DebugAddr() != "" {
+		t.Fatalf("DebugAddr() = %q without a debug server", c.DebugAddr())
+	}
+}
