@@ -47,6 +47,9 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if opts.DebugAddr != "" && opts.Obs == nil {
 		return nil, fmt.Errorf("mirage: Options.DebugAddr requires Options.Obs")
 	}
+	if opts.Check && !opts.Obs.Tracing() {
+		return nil, fmt.Errorf("mirage: Options.Check requires Options.Obs with a tracer (e.g. mirage.NewObs())")
+	}
 	c := &Cluster{
 		opts:     opts,
 		registry: mem.NewRegistry(opts.PageSize, opts.Delta, opts.MaxSegmentBytes),

@@ -18,13 +18,20 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io"
 	"os"
 	"sort"
 	"strings"
 )
 
 func main() {
-	dirs := os.Args[1:]
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it checks each directory and writes
+// problems to stdout, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	dirs := args
 	if len(dirs) == 0 {
 		dirs = []string{"."}
 	}
@@ -32,19 +39,20 @@ func main() {
 	for _, dir := range dirs {
 		ps, err := checkDir(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "doccheck: %v\n", err)
+			return 2
 		}
 		problems = append(problems, ps...)
 	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
-			fmt.Println(p)
+			fmt.Fprintln(stdout, p)
 		}
-		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", len(problems))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "doccheck: %d exported identifier(s) missing doc comments\n", len(problems))
+		return 1
 	}
+	return 0
 }
 
 func checkDir(dir string) ([]string, error) {

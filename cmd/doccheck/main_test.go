@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeGo drops one Go source file into dir.
+func writeGo(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeGo(t, dir, "ok.go", `// Package ok is documented.
+package ok
+
+// Exported is documented.
+func Exported() {}
+
+func unexported() {}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced output: %s", out.String())
+	}
+}
+
+func TestRunFlagsMissingDocs(t *testing.T) {
+	dir := t.TempDir()
+	writeGo(t, dir, "bad.go", `package bad
+
+func Undocumented() {}
+
+const MissingDoc = 1
+
+type AlsoMissing struct{}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Undocumented", "MissingDoc", "AlsoMissing"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "3 exported identifier(s)") {
+		t.Errorf("stderr count wrong: %s", errb.String())
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{filepath.Join(t.TempDir(), "missing")}, &out, &errb); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}
+
+// TestRepoPublicPackageIsDocumented is the check the CI job runs: the
+// repository's own public package must stay fully documented.
+func TestRepoPublicPackageIsDocumented(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../.."}, &out, &errb); code != 0 {
+		t.Fatalf("public package has undocumented identifiers:\n%s%s", out.String(), errb.String())
+	}
+}

@@ -17,6 +17,11 @@
 // -trace saves the Δ = quantum point's protocol trace (schema-v1
 // JSONL, for miragetrace); -metrics prints each point's denial
 // histogram in full.
+//
+// E17 runs the coherence model checker (internal/check): a bounded
+// exhaustive enumeration of every schedule of a tiny contended
+// scenario, plus a seed-swept random walk under an adversarial fault
+// plan — any invariant violation fails the command.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -31,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"mirage/internal/check"
 	"mirage/internal/exp"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
@@ -120,14 +127,23 @@ func microbench() map[string]string {
 }
 
 func main() {
-	which := flag.String("e", "all", "comma-separated experiment ids (e1..e16) or 'all'")
-	dur := flag.Duration("dur", 20*time.Second, "virtual run length per measurement point")
-	quick := flag.Bool("quick", false, "short runs for a smoke pass")
-	par := flag.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
-	out := flag.String("out", "", "write a JSON benchmark record to this file")
-	tracePath := flag.String("trace", "", "e16: write the Δ=quantum point's protocol trace (JSONL) to this file")
-	metrics := flag.Bool("metrics", false, "e16: print each point's full denial breakdown")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e17) or 'all'")
+	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
+	quick := fs.Bool("quick", false, "short runs for a smoke pass")
+	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
+	out := fs.String("out", "", "write a JSON benchmark record to this file")
+	tracePath := fs.String("trace", "", "e16: write the Δ=quantum point's protocol trace (JSONL) to this file")
+	metrics := fs.Bool("metrics", false, "e16: print each point's full denial breakdown")
+	if fs.Parse(args) != nil {
+		return 2
+	}
 
 	if *quick {
 		*dur = 5 * time.Second
@@ -145,17 +161,18 @@ func main() {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
 	}
 	all := want["all"]
+	code := 0
 	totalStart := time.Now()
 	run := func(id, title string, fn func()) {
 		if !all && !want[id] {
 			return
 		}
-		fmt.Printf("== %s — %s ==\n", strings.ToUpper(id), title)
+		fmt.Fprintf(stdout, "== %s — %s ==\n", strings.ToUpper(id), title)
 		start := time.Now()
 		fn()
 		wall := time.Since(start).Seconds()
 		rec.Experiments = append(rec.Experiments, experimentWall{ID: id, WallS: wall})
-		fmt.Printf("   (%.2fs wall)\n\n", wall)
+		fmt.Fprintf(stdout, "   (%.2fs wall)\n\n", wall)
 	}
 
 	run("e1", "§7.1 component timings", func() {
@@ -163,7 +180,7 @@ func main() {
 		t := stats.NewTable("measurement", "paper", "measured")
 		t.Row("short message round trip", exp.PaperShortRTT, r.ShortRTT)
 		t.Row("1 KB message + short reply", exp.PaperPagePlusReply, r.PagePlusReply)
-		t.WriteTo(os.Stdout)
+		t.WriteTo(stdout)
 	})
 
 	run("e2", "Table 3: remote in-memory page fetch", func() {
@@ -174,7 +191,7 @@ func main() {
 		}
 		t.Row("TOTAL (component sum)", r.PaperTotal, r.ModelTotal)
 		t.Row("TOTAL ELAPSED (full simulator)", r.PaperTotal, r.MeasuredTotal)
-		t.WriteTo(os.Stdout)
+		t.WriteTo(stdout)
 	})
 
 	run("e3", "§7.2 single-site worst case: yield() vs busy wait", func() {
@@ -183,7 +200,7 @@ func main() {
 		t.Row("busy wait", exp.PaperSingleSite.NoYield, r.NoYield)
 		t.Row("yield()", exp.PaperSingleSite.WithYield, r.WithYield)
 		t.Row("speedup", fmt.Sprintf("x%.0f", exp.PaperSingleSite.Speedup), fmt.Sprintf("x%.1f", r.Speedup))
-		t.WriteTo(os.Stdout)
+		t.WriteTo(stdout)
 	})
 
 	run("e4", "Figure 7: two-site worst case vs Δ", func() {
@@ -192,10 +209,10 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.DeltaTicks, p.Yield, p.NoYield, stats.Ratio(p.Yield, p.NoYield))
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper anchors: yield(0)≈8, yield(2)≈4.5 (90% of the 5/s bound), ~1.5x yield advantage at Δ=2")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper anchors: yield(0)≈8, yield(2)≈4.5 (90% of the 5/s bound), ~1.5x yield advantage at Δ=2")
 		tr := exp.MeasureWorstCaseTraffic(*dur, 0)
-		fmt.Printf("traffic at Δ=0: %.1f msgs/cycle (%.1f large); derived per-cycle bound %v (paper: 9 msgs, 3 large, 109 ms)\n",
+		fmt.Fprintf(stdout, "traffic at Δ=0: %.1f msgs/cycle (%.1f large); derived per-cycle bound %v (paper: 9 msgs, 3 large, 109 ms)\n",
 			tr.MsgsPerCycle, tr.LargePerCycle, tr.DerivedBound.Round(time.Millisecond))
 	})
 
@@ -205,8 +222,8 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.Sites, p.CyclesPerSec, p.MsgsPerCycle)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: \"in a network with a larger number of sites sharing pages than ours, invalidations may become expensive\" (§10.0)")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: \"in a network with a larger number of sites sharing pages than ours, invalidations may become expensive\" (§10.0)")
 	})
 
 	run("e5", "Figure 8: representative application vs Δ", func() {
@@ -225,8 +242,8 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.Delta, int(p.InsnPerSec), strings.Repeat("#", int(p.InsnPerSec/4000)))
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Printf("paper: maximum 115,000 insn/s at Δ=600 ms; contention side Δ<120 ms poor; retention side gradual\n")
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "paper: maximum 115,000 insn/s at Δ=600 ms; contention side Δ<120 ms poor; retention side gradual\n")
 	})
 
 	run("e6", "§7.3 thrashing amelioration (bystander throughput)", func() {
@@ -235,8 +252,8 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.DeltaTicks, p.AppCycles, p.BystanderUnits)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: raising Δ cuts the thrashing app's throughput but improves other processes")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: raising Δ cuts the thrashing app's throughput but improves other processes")
 	})
 
 	run("e7", "§7.1 invalidation policy ablation", func() {
@@ -250,8 +267,8 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.Policy.String(), p.Delta, int(p.InsnPerSec), p.Retries)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: the prototype always retried; honor-close and queue are its proposed fixes")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: the prototype always retried; honor-close and queue are its proposed fixes")
 	})
 
 	run("e8", "§8.0 dynamic Δ tuning", func() {
@@ -266,8 +283,8 @@ func main() {
 		t.Row("fixed Δ=600 ms", int(r.FixedPeak))
 		t.Row("fixed Δ=2400 ms", int(r.FixedLarge))
 		t.Row("adaptive (gap EWMA)", int(r.Adaptive))
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: the tuning routine exists but ships disabled; this enables it")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: the tuning routine exists but ships disabled; this enables it")
 	})
 
 	run("e9", "§7.2 test&set spinlock", func() {
@@ -277,8 +294,8 @@ func main() {
 		for _, p := range r.Points {
 			t.Row(fmt.Sprintf("tester, Δ=%d ticks", p.DeltaTicks), p.CritPerSec, p.PageMoves)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: test&set degrades the writer substantially; it recommends against the instruction")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: test&set degrades the writer substantially; it recommends against the instruction")
 	})
 
 	run("e10", "baseline: Mirage vs IVY (centralized manager SVM)", func() {
@@ -287,7 +304,7 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.System, p.Workload, p.Throughput, p.Unit, p.PageMoves)
 		}
-		t.WriteTo(os.Stdout)
+		t.WriteTo(stdout)
 	})
 
 	run("e12", "§8.0 hot-spot organization (per-page Δ)", func() {
@@ -296,8 +313,8 @@ func main() {
 		for _, r := range rs {
 			t.Row(r.Config, r.HotOps, int(r.ColdInsn))
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Println("paper: with hot spots inside one segment, \"per-page Δs may be useful\"")
+		t.WriteTo(stdout)
+		fmt.Fprintln(stdout, "paper: with hot spots inside one segment, \"per-page Δs may be useful\"")
 	})
 
 	run("e13", "§9.0 real-time Δ under site load", func() {
@@ -305,8 +322,8 @@ func main() {
 		t := stats.NewTable("site 1 configuration", "site 1 insn/s")
 		t.Row("unloaded", int(r.UnloadedInsn))
 		t.Row("sharing the CPU with a hog", int(r.LoadedInsn))
-		t.WriteTo(os.Stdout)
-		fmt.Printf("effective window lost to load: %.0f%% — §9.0: \"The load would decrease the effective Δ\"\n", 100*r.EffectiveDrop)
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "effective window lost to load: %.0f%% — §9.0: \"The load would decrease the effective Δ\"\n", 100*r.EffectiveDrop)
 	})
 
 	run("e14", "beyond the paper: resilience under injected faults", func() {
@@ -322,9 +339,9 @@ func main() {
 		}
 		t.Row("crash 0.1–0.4s", r.Crash.Completed, r.Crash.Elapsed.Round(time.Millisecond),
 			r.Crash.Retransmits, r.Crash.DupDrops, r.Crash.GaveUp, r.Crash.NetDropped)
-		t.WriteTo(os.Stdout)
-		fmt.Printf("same-seed replay identical: %v\n", r.ReplayMatches)
-		fmt.Println("paper: §10.0 \"the current implementation does not tolerate site failures\"; this sweep measures the cost of fixing that")
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "same-seed replay identical: %v\n", r.ReplayMatches)
+		fmt.Fprintln(stdout, "paper: §10.0 \"the current implementation does not tolerate site failures\"; this sweep measures the cost of fixing that")
 	})
 
 	run("e16", "Figure 7 Δ-sweep under full observability (E16)", func() {
@@ -336,26 +353,27 @@ func main() {
 			t.Row(p.DeltaTicks, p.CyclesPerSec, p.Denials, p.Retries,
 				p.MeanRemaining.Round(10*time.Microsecond), p.MaxRemaining.Round(10*time.Microsecond), events)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Printf("crossover at Δ = 1 scheduling quantum (%d ticks, %v): denials fall as 1/Δ while the\n",
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "crossover at Δ = 1 scheduling quantum (%d ticks, %v): denials fall as 1/Δ while the\n",
 			vaxmodel.QuantumTicks, vaxmodel.Quantum)
-		fmt.Println("remaining time at each denial grows with Δ; past the quantum the denied holder is")
-		fmt.Println("preempted before it can use the protected window, so the excess is pure latency")
+		fmt.Fprintln(stdout, "remaining time at each denial grows with Δ; past the quantum the denied holder is")
+		fmt.Fprintln(stdout, "preempted before it can use the protected window, so the excess is pure latency")
 		if *metrics {
 			for _, p := range pts {
 				_, events, err := obs.ReadJSONL(bytes.NewReader(p.TraceJSONL))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "miragebench: reparse e16 trace: %v\n", err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "miragebench: reparse e16 trace: %v\n", err)
+					code = 1
+					return
 				}
-				fmt.Printf("\nΔ=%d ticks denial breakdown:\n", p.DeltaTicks)
+				fmt.Fprintf(stdout, "\nΔ=%d ticks denial breakdown:\n", p.DeltaTicks)
 				bs := obs.DenialBreakdown(events, 6)
 				if bs == nil {
-					fmt.Println("  (no denials)")
+					fmt.Fprintln(stdout, "  (no denials)")
 					continue
 				}
 				for _, b := range bs {
-					fmt.Printf("  ≤%-12v %d\n", b.Upper, b.Count)
+					fmt.Fprintf(stdout, "  ≤%-12v %d\n", b.Upper, b.Count)
 				}
 			}
 		}
@@ -365,12 +383,65 @@ func main() {
 					continue
 				}
 				if err := os.WriteFile(*tracePath, p.TraceJSONL, 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "miragebench: write %s: %v\n", *tracePath, err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "miragebench: write %s: %v\n", *tracePath, err)
+					code = 1
+					return
 				}
-				fmt.Printf("trace (Δ=%d ticks): %s\n", p.DeltaTicks, *tracePath)
+				fmt.Fprintf(stdout, "trace (Δ=%d ticks): %s\n", p.DeltaTicks, *tracePath)
 			}
 		}
+	})
+
+	run("e17", "coherence model check: schedule exploration (E17)", func() {
+		// Exhaustive half: every schedule of a contended two-site
+		// write/read scenario with a live Δ window, all three
+		// invalidation policies.
+		t := stats.NewTable("policy", "schedules", "choice points", "deepest", "max branch", "complete", "violations")
+		for pol := 0; pol <= 2; pol++ {
+			sc := check.Scenario{
+				Sites: 2, Pages: 1, Delta: 10 * time.Millisecond, Policy: pol,
+				Ops: []check.Op{
+					{Site: 0, Page: 0, Write: true, Val: 7},
+					{Site: 1, Page: 0, Write: true, Val: 9},
+					{Site: 0, Page: 0},
+					{Site: 1, Page: 0},
+				},
+			}
+			res := check.Exhaustive(sc, check.ExploreOpts{})
+			t.Row(pol, res.Runs, res.ChoicePoints, res.Deepest, res.MaxBranch, res.Complete, len(res.Violations))
+			if len(res.Violations) > 0 {
+				for _, v := range res.Violations {
+					fmt.Fprintf(stdout, "violation: %v\n", v)
+				}
+				code = 1
+			}
+		}
+		t.WriteTo(stdout)
+
+		// Random-walk half: seed-swept schedules of a larger config
+		// composed with an adversarial fault plan (reliability on).
+		nSeeds := int64(8)
+		if *quick {
+			nSeeds = 4
+		}
+		seeds := make([]int64, 0, nSeeds)
+		for s := int64(1); s <= nSeeds; s++ {
+			seeds = append(seeds, s)
+		}
+		chaotic := check.Scenario{
+			Sites: 3, Pages: 2, Delta: 5 * time.Millisecond, Policy: 2,
+			Chaos: "drop p=0.15; dup p=0.1; delay p=0.2 max=5ms",
+		}
+		res := check.RandomWalk(chaotic, seeds, check.ExploreOpts{OpsPerWalk: 10})
+		fmt.Fprintf(stdout, "random walk under chaos: %d seeds, %d choice points, %d violations\n",
+			res.Runs, res.ChoicePoints, len(res.Violations))
+		if len(res.Violations) > 0 {
+			for _, v := range res.Violations {
+				fmt.Fprintf(stdout, "violation: %v\n", v)
+			}
+			code = 1
+		}
+		fmt.Fprintln(stdout, "paper: §4–§6 protocol rules as machine-checked invariants; see DESIGN.md §10")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {
@@ -379,8 +450,8 @@ func main() {
 		for _, p := range pts {
 			t.Row(p.Pages, p.DispatchCost)
 		}
-		t.WriteTo(os.Stdout)
-		fmt.Printf("paper: %v–%v per 512-byte page, segments up to 128 KB (256 pages)\n",
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "paper: %v–%v per 512-byte page, segments up to 128 KB (256 pages)\n",
 			vaxmodel.RemapPerPageMin, vaxmodel.RemapPerPageMax)
 	})
 
@@ -389,15 +460,16 @@ func main() {
 		rec.Micro = microbench()
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "miragebench: marshal record: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "miragebench: marshal record: %v\n", err)
+			return 1
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "miragebench: write %s: %v\n", *out, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "miragebench: write %s: %v\n", *out, err)
+			return 1
 		}
-		fmt.Printf("benchmark record: %s (parallelism=%d over %d CPUs, %.2fs total wall)\n",
+		fmt.Fprintf(stdout, "benchmark record: %s (parallelism=%d over %d CPUs, %.2fs total wall)\n",
 			*out, *par, rec.CPUs, rec.TotalWallS)
 	}
+	return code
 }

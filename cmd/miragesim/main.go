@@ -16,12 +16,18 @@
 //	miragesim -workload readers -sites 4 -delta 100ms
 //	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
 //	miragesim -workload counters -delta 600ms -runs 8
+//	miragesim -workload counters -delta 600ms -check
 //
 // -trace writes the run's protocol event timeline in the schema-v1
 // JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
 // summarize/timeline/chrome/denials. -reflog writes the library-site
 // reference log for miragetrace's page-heat analysis. -metrics dumps
 // the observability counter registry after the run.
+//
+// -check records the run's trace (with per-access op events) and
+// verifies it against the coherence invariants (internal/check); any
+// violation is printed and the command exits 1. The virtual clock
+// makes the check exact — no timestamp slack is needed.
 //
 // -runs N executes the scenario N times concurrently (one virtual
 // cluster each) and verifies every run produced identical results —
@@ -35,13 +41,14 @@ import (
 	"crypto/sha256"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"mirage/internal/chaos"
+	"mirage/internal/check"
 	"mirage/internal/core"
 	"mirage/internal/exp"
 	"mirage/internal/ipc"
@@ -51,21 +58,33 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("miragesim: ")
-	workload := flag.String("workload", "pingpong", "pingpong | counters | readers")
-	delta := flag.Duration("delta", 0, "time window Δ")
-	dur := flag.Duration("dur", 10*time.Second, "virtual run length")
-	sites := flag.Int("sites", 2, "number of sites (readers workload)")
-	yield := flag.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
-	policy := flag.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
-	tracePath := flag.String("trace", "", "write the protocol event trace (schema-v1 JSONL) to this file")
-	reflogPath := flag.String("reflog", "", "write the library's reference log to this file")
-	metrics := flag.Bool("metrics", false, "dump the observability metrics registry after the run")
-	chaosSpec := flag.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
-	chaosSeed := flag.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
-	runs := flag.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "miragesim: "+format+"\n", a...)
+		return 2
+	}
+	fs := flag.NewFlagSet("miragesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "pingpong", "pingpong | counters | readers")
+	delta := fs.Duration("delta", 0, "time window Δ")
+	dur := fs.Duration("dur", 10*time.Second, "virtual run length")
+	sites := fs.Int("sites", 2, "number of sites (readers workload)")
+	yield := fs.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
+	policy := fs.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
+	tracePath := fs.String("trace", "", "write the protocol event trace (schema-v1 JSONL) to this file")
+	reflogPath := fs.String("reflog", "", "write the library's reference log to this file")
+	metrics := fs.Bool("metrics", false, "dump the observability metrics registry after the run")
+	chaosSpec := fs.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
+	chaosSeed := fs.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
+	runs := fs.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
+	checkRun := fs.Bool("check", false, "verify the run's trace against the coherence invariants; exit 1 on violation")
+	if fs.Parse(args) != nil {
+		return 2
+	}
 
 	var pol core.InvalPolicy
 	switch *policy {
@@ -76,13 +95,13 @@ func main() {
 	case "queue":
 		pol = core.PolicyQueue
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		return fail("unknown policy %q", *policy)
 	}
 	if *runs < 1 {
-		log.Fatal("-runs must be at least 1")
+		return fail("-runs must be at least 1")
 	}
 	if *runs > 1 && *reflogPath != "" {
-		log.Fatal("-reflog is incompatible with -runs > 1")
+		return fail("-reflog is incompatible with -runs > 1")
 	}
 
 	var recorder *trace.Log
@@ -91,10 +110,26 @@ func main() {
 	}
 
 	n := 2
-	if *workload == "readers" {
+	switch *workload {
+	case "pingpong", "counters":
+	case "readers":
 		n = *sites
 		if n < 2 {
-			log.Fatal("readers needs at least 2 sites")
+			return fail("readers needs at least 2 sites")
+		}
+	default:
+		return fail("unknown workload %q", *workload)
+	}
+
+	var basePlan *chaos.Plan
+	if *chaosSpec != "" {
+		var err error
+		basePlan, err = chaos.Parse(*chaosSpec)
+		if err != nil {
+			return fail("bad -chaos plan: %v", err)
+		}
+		if *chaosSeed != 0 {
+			basePlan.Seed = *chaosSeed
 		}
 	}
 
@@ -102,29 +137,24 @@ func main() {
 	// completion; every run is self-contained (own cluster, own obs
 	// sink), so N of them can execute concurrently and must agree bit
 	// for bit.
+	wantTrace := *tracePath != "" || *checkRun
 	runOnce := func() (string, *ipc.Cluster, *obs.Obs) {
 		opts := core.Options{Policy: pol}
 		if recorder != nil {
 			opts.Tracer = recorder
 		}
 		var o *obs.Obs
-		if *tracePath != "" || *metrics {
+		if wantTrace || *metrics {
 			o = obs.New()
-			if *tracePath == "" {
+			if !wantTrace {
 				o.Tracer = nil // metrics only; skip event buffering
 			}
 			opts.Obs = o
 		}
 		var plan *chaos.Plan
-		if *chaosSpec != "" {
-			var err error
-			plan, err = chaos.Parse(*chaosSpec)
-			if err != nil {
-				log.Fatalf("bad -chaos plan: %v", err)
-			}
-			if *chaosSeed != 0 {
-				plan.Seed = *chaosSeed
-			}
+		if basePlan != nil {
+			p := *basePlan
+			plan = &p
 			// A lossy fabric needs the ARQ layer; zero value = defaults.
 			opts.Reliability = &core.Reliability{}
 		}
@@ -139,8 +169,6 @@ func main() {
 			headline = fmt.Sprintf("%.0f read-write insn/s", insn)
 		case "readers":
 			headline = runReaders(c, *dur)
-		default:
-			log.Fatalf("unknown workload %q", *workload)
 		}
 		return headline, c, o
 	}
@@ -177,12 +205,12 @@ func main() {
 		for i := 1; i < *runs; i++ {
 			if digests[i] != digests[0] {
 				identical = false
-				log.Printf("run %d diverged:\n  run 0: %s\n  run %d: %s", i, digests[0], i, digests[i])
+				fmt.Fprintf(stderr, "miragesim: run %d diverged:\n  run 0: %s\n  run %d: %s\n", i, digests[0], i, digests[i])
 			}
 		}
-		fmt.Printf("%d runs in %.2fs wall (%d-way), identical results: %v\n", *runs, wall.Seconds(), runtime.GOMAXPROCS(0), identical)
+		fmt.Fprintf(stdout, "%d runs in %.2fs wall (%d-way), identical results: %v\n", *runs, wall.Seconds(), runtime.GOMAXPROCS(0), identical)
 		if !identical {
-			os.Exit(1)
+			return 1
 		}
 		headline = headlines[0]
 		// The runs are interchangeable; show run 0's detailed stats.
@@ -190,8 +218,8 @@ func main() {
 		o = sinks[0]
 	}
 
-	fmt.Printf("workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
-	fmt.Printf("result: %s\n\n", headline)
+	fmt.Fprintf(stdout, "workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
+	fmt.Fprintf(stdout, "result: %s\n\n", headline)
 
 	t := stats.NewTable("site", "rd-faults", "wr-faults", "pages tx/rx", "upgrades", "downgrades", "busies", "retries", "Δ-wait",
 		"cpu user", "cpu kernel", "dispatches")
@@ -204,33 +232,33 @@ func main() {
 			es.WindowWait.Round(time.Millisecond),
 			cs.UserBusy.Round(time.Millisecond), cs.KernelBusy.Round(time.Millisecond), cs.Dispatches)
 	}
-	t.WriteTo(os.Stdout)
+	t.WriteTo(stdout)
 	ns := c.Net.Stats()
-	fmt.Printf("\nnetwork: %d msgs (%d large, %d short), %d bytes, %d loopback\n",
+	fmt.Fprintf(stdout, "\nnetwork: %d msgs (%d large, %d short), %d bytes, %d loopback\n",
 		ns.Delivered, ns.LargeMsgs, ns.ShortMsgs, ns.Bytes, ns.Loopback)
 
 	if c.Chaos != nil {
 		executed := c.Chaos.Plan()
-		fmt.Printf("\nchaos plan: %s\n%v\n", executed.String(), c.Chaos.Stats())
+		fmt.Fprintf(stdout, "\nchaos plan: %s\n%v\n", executed.String(), c.Chaos.Stats())
 		rt := stats.NewTable("site", "retransmits", "dup-drops", "gave-up", "degraded", "stale", "denied")
 		for i := 0; i < c.Sites(); i++ {
 			es := c.Site(i).Eng.Stats()
 			rt.Row(i, es.Retransmits, es.DupDrops, es.GaveUp, es.Degraded, es.Stale, es.Denied)
 		}
-		rt.WriteTo(os.Stdout)
+		rt.WriteTo(stdout)
 	}
 
 	if h := c.FaultLatency; h.Count() > 0 {
-		fmt.Printf("\nfault latency: %d faults, mean %v, p50 ≤%v, p99 ≤%v, max %v\n",
+		fmt.Fprintf(stdout, "\nfault latency: %d faults, mean %v, p50 ≤%v, p99 ≤%v, max %v\n",
 			h.Count(), h.Mean().Round(100*time.Microsecond),
 			h.Quantile(0.5), h.Quantile(0.99), h.Max().Round(100*time.Microsecond))
-		h.WriteTo(os.Stdout)
+		h.WriteTo(stdout)
 	}
 
 	if *metrics && o != nil {
-		fmt.Println("\nmetrics registry:")
-		if _, err := o.Metrics.WriteTo(os.Stdout); err != nil {
-			log.Fatal(err)
+		fmt.Fprintln(stdout, "\nmetrics registry:")
+		if _, err := o.Metrics.WriteTo(stdout); err != nil {
+			return fail("%v", err)
 		}
 	}
 
@@ -238,34 +266,55 @@ func main() {
 		buf := o.Buffer()
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		if err := obs.WriteJSONL(f, obs.NewHeader(obs.ClockVirtual, c.Sites()), buf.Events()); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return fail("%v", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		note := ""
 		if d := buf.Dropped(); d > 0 {
 			note = fmt.Sprintf(" (%d dropped at the buffer cap)", d)
 		}
-		fmt.Printf("protocol trace: %d events -> %s%s (analyze with miragetrace summarize)\n", buf.Len(), *tracePath, note)
+		fmt.Fprintf(stdout, "protocol trace: %d events -> %s%s (analyze with miragetrace summarize)\n", buf.Len(), *tracePath, note)
 	}
 
 	if recorder != nil {
 		f, err := os.Create(*reflogPath)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		if _, err := recorder.WriteTo(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return fail("%v", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
-		fmt.Printf("reference log: %d entries -> %s (analyze with miragetrace reflog)\n", recorder.Len(), *reflogPath)
+		fmt.Fprintf(stdout, "reference log: %d entries -> %s (analyze with miragetrace reflog)\n", recorder.Len(), *reflogPath)
 	}
+
+	if *checkRun {
+		buf := o.Buffer()
+		if d := buf.Dropped(); d > 0 {
+			return fail("trace buffer dropped %d events; coherence check would be unsound (shorten -dur)", d)
+		}
+		cfg := check.Config{Sites: c.Sites(), Delta: *delta, Reliable: basePlan != nil}
+		viols := check.Verify(cfg, buf.Events())
+		if len(viols) == 0 {
+			fmt.Fprintf(stdout, "\ncoherence check: %d events, clean\n", buf.Len())
+		} else {
+			fmt.Fprintf(stdout, "\ncoherence check: %d events, %d violation(s):\n", buf.Len(), len(viols))
+			for _, v := range viols {
+				fmt.Fprintf(stdout, "  %v\n", v)
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // traceDigest folds a run's serialized protocol trace into the -runs
@@ -277,7 +326,7 @@ func traceDigest(c *ipc.Cluster, o *obs.Obs) string {
 	}
 	h := sha256.New()
 	if err := obs.WriteJSONL(h, obs.NewHeader(obs.ClockVirtual, c.Sites()), o.Buffer().Events()); err != nil {
-		log.Fatal(err)
+		panic(err) // sha256.New never fails to Write
 	}
 	return fmt.Sprintf(" trace{sha256=%x}", h.Sum(nil))
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "nope"},
+		{"-workload", "nope"},
+		{"-runs", "0"},
+		{"-workload", "readers", "-sites", "1"},
+		{"-chaos", "drop q=banana"},
+		{"-runs", "2", "-reflog", "x"},
+	} {
+		if code, _, stderr := runSim(t, args...); code != 2 {
+			t.Errorf("args %v: code %d (stderr %q), want 2", args, code, stderr)
+		}
+	}
+}
+
+func TestCountersRun(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-workload", "counters", "-delta", "600ms", "-dur", "2s")
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr)
+	}
+	for _, want := range []string{"workload=counters", "read-write insn/s", "network:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestCheckedRunClean(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-workload", "counters", "-delta", "600ms", "-dur", "2s", "-check")
+	if code != 0 {
+		t.Fatalf("coherence check failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "coherence check:") || !strings.Contains(stdout, "clean") {
+		t.Errorf("check verdict missing:\n%s", stdout)
+	}
+}
+
+func TestCheckedPingPongWithWindow(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-workload", "pingpong", "-delta", "33ms", "-dur", "2s", "-check")
+	if code != 0 {
+		t.Fatalf("coherence check failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "clean") {
+		t.Errorf("check verdict missing:\n%s", stdout)
+	}
+}
+
+func TestCheckedChaosRun(t *testing.T) {
+	code, stdout, stderr := runSim(t,
+		"-workload", "counters", "-delta", "120ms", "-dur", "2s",
+		"-chaos", "drop p=0.05; dup p=0.1; delay p=0.2 max=5ms", "-chaos-seed", "7",
+		"-check")
+	if code != 0 {
+		t.Fatalf("chaos run check failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "chaos plan:") {
+		t.Errorf("chaos stats missing:\n%s", stdout)
+	}
+}
+
+func TestParallelRunsIdentical(t *testing.T) {
+	code, stdout, stderr := runSim(t, "-workload", "counters", "-delta", "600ms", "-dur", "1s", "-runs", "3", "-check")
+	if code != 0 {
+		t.Fatalf("code %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "identical results: true") {
+		t.Errorf("determinism check missing:\n%s", stdout)
+	}
+}
+
+func TestTraceAndReflogFiles(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "run.jsonl")
+	rl := filepath.Join(dir, "refs.log")
+	code, stdout, stderr := runSim(t,
+		"-workload", "counters", "-delta", "600ms", "-dur", "1s",
+		"-trace", tr, "-reflog", rl, "-metrics")
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr)
+	}
+	for _, want := range []string{"protocol trace:", "reference log:", "metrics registry:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	for _, p := range []string{tr, rl} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty: %v", p, err)
+		}
+	}
+}

@@ -17,6 +17,10 @@
 //	denials   [-buckets N] <trace.jsonl>
 //	                                   Δ-window denial breakdown by
 //	                                   remaining time
+//	check     [-delta D] [-slack D] [-reliable] <trace.jsonl>
+//	                                   verify the trace against the
+//	                                   coherence invariants; exits 1
+//	                                   on any violation
 //	reflog    [flags] <refs.log>       page heat, migration advice, and
 //	                                   suggested Δ from a reference log
 //
@@ -27,10 +31,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
+	"mirage/internal/check"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/trace"
@@ -38,126 +43,185 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("miragetrace: ")
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommand and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "summarize":
-		cmdSummarize(os.Args[2:])
+		return cmdSummarize(args[1:], stdout, stderr)
 	case "timeline":
-		cmdTimeline(os.Args[2:])
+		return cmdTimeline(args[1:], stdout, stderr)
 	case "chrome":
-		cmdChrome(os.Args[2:])
+		return cmdChrome(args[1:], stdout, stderr)
 	case "denials":
-		cmdDenials(os.Args[2:])
+		return cmdDenials(args[1:], stdout, stderr)
+	case "check":
+		return cmdCheck(args[1:], stdout, stderr)
 	case "reflog":
-		cmdReflog(os.Args[2:])
+		return cmdReflog(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
-		usage()
+		return usage(stderr)
 	default:
 		// Historical interface: miragetrace [flags] <reference-log>.
-		cmdReflog(os.Args[1:])
+		return cmdReflog(args, stdout, stderr)
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage: miragetrace <subcommand> [flags] <file>
+func usage(stderr io.Writer) int {
+	fmt.Fprint(stderr, `usage: miragetrace <subcommand> [flags] <file>
 
   summarize <trace.jsonl>                 event/page/denial totals
   timeline  [-seg N] [-page N] <trace.jsonl>
   chrome    [-o out.json] <trace.jsonl>   convert for chrome://tracing
   denials   [-buckets N] <trace.jsonl>    Δ-denial remaining-time breakdown
+  check     [-delta D] [-slack D] [-reliable] <trace.jsonl>
+                                          verify coherence invariants
   reflog    [flags] <refs.log>            reference-log page-heat analysis
 `)
-	os.Exit(2)
+	return 2
 }
 
 // readTrace loads and validates one JSONL protocol trace.
-func readTrace(path string) (obs.Header, []obs.Event) {
+func readTrace(path string, stderr io.Writer) (obs.Header, []obs.Event, bool) {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+		return obs.Header{}, nil, false
 	}
 	defer f.Close()
 	hdr, events, err := obs.ReadJSONL(f)
 	if err != nil {
-		log.Fatalf("%s: %v", path, err)
+		fmt.Fprintf(stderr, "miragetrace: %s: %v\n", path, err)
+		return obs.Header{}, nil, false
 	}
-	return hdr, events
+	return hdr, events, true
 }
 
-func oneArg(fs *flag.FlagSet) string {
+// newFlagSet builds a subcommand flag set that reports errors instead
+// of exiting the process.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func oneArg(fs *flag.FlagSet, stderr io.Writer) (string, bool) {
 	if fs.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: miragetrace %s [flags] <file>\n", fs.Name())
-		os.Exit(2)
+		fmt.Fprintf(stderr, "usage: miragetrace %s [flags] <file>\n", fs.Name())
+		return "", false
 	}
-	return fs.Arg(0)
+	return fs.Arg(0), true
 }
 
-func cmdSummarize(args []string) {
-	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
-	fs.Parse(args)
-	hdr, events := readTrace(oneArg(fs))
-	fmt.Printf("trace: schema v%d, %s clock, %d sites\n", hdr.Version, hdr.Clock, hdr.Sites)
-	if _, err := obs.Summarize(events).WriteTo(os.Stdout); err != nil {
-		log.Fatal(err)
+func cmdSummarize(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("summarize", stderr)
+	if fs.Parse(args) != nil {
+		return 2
 	}
+	path, ok := oneArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	hdr, events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	fmt.Fprintf(stdout, "trace: schema v%d, %s clock, %d sites\n", hdr.Version, hdr.Clock, hdr.Sites)
+	if _, err := obs.Summarize(events).WriteTo(stdout); err != nil {
+		fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
-func cmdTimeline(args []string) {
-	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+func cmdTimeline(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("timeline", stderr)
 	seg := fs.Int("seg", -1, "only this segment (-1 = all)")
 	page := fs.Int("page", -1, "only this page (-1 = all)")
-	fs.Parse(args)
-	_, events := readTrace(oneArg(fs))
-	for _, ev := range obs.Timeline(events, int32(*seg), int32(*page)) {
-		fmt.Println(obs.FormatEvent(ev))
+	if fs.Parse(args) != nil {
+		return 2
 	}
+	path, ok := oneArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	_, events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	for _, ev := range obs.Timeline(events, int32(*seg), int32(*page)) {
+		fmt.Fprintln(stdout, obs.FormatEvent(ev))
+	}
+	return 0
 }
 
-func cmdChrome(args []string) {
-	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+func cmdChrome(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("chrome", stderr)
 	out := fs.String("o", "", "output file (default: stdout)")
-	fs.Parse(args)
-	hdr, events := readTrace(oneArg(fs))
-	w := os.Stdout
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	path, ok := oneArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	hdr, events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+			return 1
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				log.Fatal(err)
+				fmt.Fprintf(stderr, "miragetrace: %v\n", err)
 			}
 		}()
 		w = f
 	}
 	if err := obs.WriteChrome(w, hdr, events); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+		return 1
 	}
 	if *out != "" {
-		fmt.Printf("%d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n", len(events), *out)
+		fmt.Fprintf(stdout, "%d events -> %s (open in chrome://tracing or ui.perfetto.dev)\n", len(events), *out)
 	}
+	return 0
 }
 
-func cmdDenials(args []string) {
-	fs := flag.NewFlagSet("denials", flag.ExitOnError)
+func cmdDenials(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("denials", stderr)
 	buckets := fs.Int("buckets", 8, "number of remaining-time buckets")
-	fs.Parse(args)
-	_, events := readTrace(oneArg(fs))
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	path, ok := oneArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	_, events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
 	bs := obs.DenialBreakdown(events, *buckets)
 	if len(bs) == 0 {
-		fmt.Println("no Δ-window denials in the trace")
-		return
+		fmt.Fprintln(stdout, "no Δ-window denials in the trace")
+		return 0
 	}
 	total := 0
 	for _, b := range bs {
 		total += b.Count
 	}
-	fmt.Printf("%d Δ-window denials by remaining window time:\n", total)
+	fmt.Fprintf(stdout, "%d Δ-window denials by remaining window time:\n", total)
 	max := 0
 	for _, b := range bs {
 		if b.Count > max {
@@ -169,8 +233,9 @@ func cmdDenials(args []string) {
 		if max > 0 {
 			bar = barOf(40 * b.Count / max)
 		}
-		fmt.Printf("  ≤%-10v %6d  %s\n", b.Upper, b.Count, bar)
+		fmt.Fprintf(stdout, "  ≤%-10v %6d  %s\n", b.Upper, b.Count, bar)
 	}
+	return 0
 }
 
 func barOf(n int) string {
@@ -181,29 +246,87 @@ func barOf(n int) string {
 	return string(b)
 }
 
-func cmdReflog(args []string) {
-	fs := flag.NewFlagSet("reflog", flag.ExitOnError)
+// cmdCheck runs the coherence history checker over a recorded trace.
+// The site count comes from the trace header; the window length Δ is
+// not recorded in traces, so the possession invariant only activates
+// when -delta is given.
+func cmdCheck(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("check", stderr)
+	delta := fs.Duration("delta", 0, "the run's Δ window; enables the possession invariant (0 = skip it)")
+	slack := fs.Duration("slack", 0, "window-invariant timestamp tolerance (use ~25ms for wall-clock traces)")
+	reliable := fs.Bool("reliable", false, "trace recorded with the reliability layer (permits implicit grant aborts)")
+	maxViolations := fs.Int("max-violations", 100, "stop collecting after this many violations")
+	if fs.Parse(args) != nil {
+		return 2
+	}
+	path, ok := oneArg(fs, stderr)
+	if !ok {
+		return 2
+	}
+	hdr, events, ok := readTrace(path, stderr)
+	if !ok {
+		return 1
+	}
+	if *slack == 0 && hdr.Clock == obs.ClockWall && *delta > 0 {
+		fmt.Fprintln(stderr, "miragetrace: note: wall-clock trace with -delta but no -slack; timer jitter may report spurious window violations")
+	}
+	cfg := check.Config{
+		Sites:         hdr.Sites,
+		Delta:         *delta,
+		Slack:         *slack,
+		Reliable:      *reliable,
+		MaxViolations: *maxViolations,
+	}
+	viols := check.Verify(cfg, events)
+	ops := 0
+	for _, ev := range events {
+		if ev.Type == obs.EvRead || ev.Type == obs.EvWrite {
+			ops++
+		}
+	}
+	fmt.Fprintf(stdout, "trace: schema v%d, %s clock, %d sites, %d events (%d op records)\n",
+		hdr.Version, hdr.Clock, hdr.Sites, len(events), ops)
+	if ops == 0 {
+		fmt.Fprintln(stdout, "note: no op records (run recorded without -check / Options.Check); data invariants not exercised")
+	}
+	if len(viols) == 0 {
+		fmt.Fprintln(stdout, "coherent: no invariant violations")
+		return 0
+	}
+	for _, v := range viols {
+		fmt.Fprintf(stdout, "violation: %v\n", v)
+	}
+	fmt.Fprintf(stderr, "miragetrace: %d coherence violation(s)\n", len(viols))
+	return 1
+}
+
+func cmdReflog(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("reflog", stderr)
 	top := fs.Int("top", 20, "show the hottest N pages")
 	threshold := fs.Float64("migrate-threshold", 0.75, "dominant-site share that triggers migration advice")
 	minReq := fs.Int("migrate-min", 10, "minimum requests before advising migration")
-	fs.Parse(args)
+	if fs.Parse(args) != nil {
+		return 2
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: miragetrace reflog [flags] <reference-log>")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: miragetrace reflog [flags] <reference-log>")
+		return 2
 	}
 
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	l, err := trace.ReadLog(f)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "miragetrace: %v\n", err)
+		return 1
 	}
-	fmt.Printf("%d requests\n\n", l.Len())
+	fmt.Fprintf(stdout, "%d requests\n\n", l.Len())
 	if l.Len() == 0 {
-		return
+		return 0
 	}
 
 	transfer := vaxmodel.ReadRequestService + 2*vaxmodel.MsgSideElapsed(0) +
@@ -222,15 +345,16 @@ func cmdReflog(args []string) {
 			fmt.Sprintf("site %d (%.0f%%)", h.DominantSite, 100*h.DominantShare),
 			trace.SuggestDelta(h, transfer).Round(time.Millisecond))
 	}
-	t.WriteTo(os.Stdout)
+	t.WriteTo(stdout)
 
 	adv := trace.AdviseMigration(l, *threshold, *minReq)
 	if len(adv) == 0 {
-		fmt.Println("\nno migration advice (no page dominated by a single remote site)")
-		return
+		fmt.Fprintln(stdout, "\nno migration advice (no page dominated by a single remote site)")
+		return 0
 	}
-	fmt.Println("\nmigration advice:")
+	fmt.Fprintln(stdout, "\nmigration advice:")
 	for _, a := range adv {
-		fmt.Printf("  seg %d page %d -> colocate with site %d (%s)\n", a.Key.Seg, a.Key.Page, a.Target, a.Reason)
+		fmt.Fprintf(stdout, "  seg %d page %d -> colocate with site %d (%s)\n", a.Key.Seg, a.Key.Page, a.Target, a.Reason)
 	}
+	return 0
 }

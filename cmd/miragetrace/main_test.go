@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mirage/internal/obs"
+	"mirage/internal/trace"
+)
+
+// writeTrace serializes events to a temp JSONL trace file.
+func writeTrace(t *testing.T, sites int, events []obs.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, obs.NewHeader(obs.ClockVirtual, sites), events); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sharingTrace is a tiny coherent history: site 0 creates a page with a
+// write copy, grant 1 downgrades it so site 1 can read.
+func sharingTrace() []obs.Event {
+	return []obs.Event{
+		{T: 0, Type: obs.EvPageState, Site: 0, Seg: 1, Page: 0, Arg: 2},
+		{T: 1 * time.Millisecond, Type: obs.EvFault, Site: 1, Seg: 1, Page: 0},
+		{T: 1 * time.Millisecond, Type: obs.EvGrantStart, Site: 0, Seg: 1, Page: 0, Cycle: 1},
+		{T: 2 * time.Millisecond, Type: obs.EvDowngrade, Site: 0, Seg: 1, Page: 0, Cycle: 1},
+		{T: 3 * time.Millisecond, Type: obs.EvPageState, Site: 1, Seg: 1, Page: 0, Cycle: 1, Arg: 1},
+		{T: 3 * time.Millisecond, Type: obs.EvGrantEnd, Site: 0, Seg: 1, Page: 0, Cycle: 1},
+	}
+}
+
+// twoWriterTrace violates single-writer exclusion: both sites install
+// write copies with no invalidation between.
+func twoWriterTrace() []obs.Event {
+	return []obs.Event{
+		{T: 0, Type: obs.EvPageState, Site: 0, Seg: 1, Page: 0, Arg: 2},
+		{T: 1 * time.Millisecond, Type: obs.EvGrantStart, Site: 0, Seg: 1, Page: 0, Cycle: 1},
+		{T: 2 * time.Millisecond, Type: obs.EvPageState, Site: 1, Seg: 1, Page: 0, Cycle: 1, Arg: 2},
+		{T: 2 * time.Millisecond, Type: obs.EvGrantEnd, Site: 0, Seg: 1, Page: 0, Cycle: 1},
+	}
+}
+
+func runTrace(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsage(t *testing.T) {
+	if code, _, stderr := runTrace(t); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("bare invocation: code %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runTrace(t, "help"); code != 2 {
+		t.Fatal("help should exit 2")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	path := writeTrace(t, 2, sharingTrace())
+	code, stdout, stderr := runTrace(t, "summarize", path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "2 sites") {
+		t.Errorf("summary missing header info:\n%s", stdout)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	path := writeTrace(t, 2, sharingTrace())
+	code, stdout, _ := runTrace(t, "timeline", "-page", "0", path)
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	if len(strings.Split(strings.TrimSpace(stdout), "\n")) < 4 {
+		t.Errorf("timeline too short:\n%s", stdout)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	path := writeTrace(t, 2, sharingTrace())
+	out := filepath.Join(t.TempDir(), "out.json")
+	code, stdout, stderr := runTrace(t, "chrome", "-o", out, path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, out) {
+		t.Errorf("chrome output path not reported:\n%s", stdout)
+	}
+	if data, err := os.ReadFile(out); err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Errorf("chrome file bad: %v", err)
+	}
+}
+
+func TestDenialsEmpty(t *testing.T) {
+	path := writeTrace(t, 2, sharingTrace())
+	code, stdout, _ := runTrace(t, "denials", path)
+	if code != 0 || !strings.Contains(stdout, "no Δ-window denials") {
+		t.Fatalf("code %d:\n%s", code, stdout)
+	}
+}
+
+func TestCheckCoherentTrace(t *testing.T) {
+	path := writeTrace(t, 2, sharingTrace())
+	code, stdout, stderr := runTrace(t, "check", path)
+	if code != 0 {
+		t.Fatalf("coherent trace flagged: code %d\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "coherent: no invariant violations") {
+		t.Errorf("missing verdict:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "no op records") {
+		t.Errorf("missing op-record note:\n%s", stdout)
+	}
+}
+
+func TestCheckFlagsViolations(t *testing.T) {
+	path := writeTrace(t, 2, twoWriterTrace())
+	code, stdout, stderr := runTrace(t, "check", path)
+	if code != 1 {
+		t.Fatalf("two-writer trace passed: code %d\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "single-writer") {
+		t.Errorf("violation invariant not named:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "violation(s)") {
+		t.Errorf("stderr missing count: %s", stderr)
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	if code, _, _ := runTrace(t, "check", filepath.Join(t.TempDir(), "nope.jsonl")); code != 1 {
+		t.Fatalf("missing file: code %d, want 1", code)
+	}
+}
+
+func TestReflog(t *testing.T) {
+	l := trace.NewLog()
+	for i := 0; i < 12; i++ {
+		l.Record(trace.Entry{
+			T: time.Duration(i) * 10 * time.Millisecond, Seg: 1, Page: 3,
+			Site: 1, Pid: 7, Write: i%2 == 0,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "refs.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runTrace(t, "reflog", path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "12 requests") {
+		t.Errorf("request count missing:\n%s", stdout)
+	}
+	// Dominated by remote site 1 -> migration advice expected.
+	if !strings.Contains(stdout, "migration advice") {
+		t.Errorf("no migration advice:\n%s", stdout)
+	}
+	// Historical bare-file interface routes to reflog too.
+	if code, stdout, _ := runTrace(t, path); code != 0 || !strings.Contains(stdout, "12 requests") {
+		t.Errorf("historical interface broken: code %d\n%s", code, stdout)
+	}
+}

@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzParseFaultPlan checks the plan grammar's round-trip contract:
+// any string Parse accepts serializes back (Plan.String) to a string
+// that reparses to an identical plan — String ∘ Parse is a
+// normalization fixpoint. Experiment logs print executed plans for
+// replay, so this property is what makes a logged plan reproduce the
+// run.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=42",
+		"seed=7; drop p=0.05; dup p=0.1; delay p=0.2 max=2ms",
+		"drop p=0.05 kind=page-send",
+		"delay p=0.3 min=1ms max=20ms",
+		"dup p=0.02 from=1 to=2 copies=3",
+		"reorder p=0.1 max=5ms",
+		"partition sites=1,2 from=2s until=3s",
+		"crash site=1 from=4s until=4500ms",
+		"crash site=0 from=100ms",
+		"seed=-1; drop p=1",
+		"drop q=banana",
+		"delay p=0.5 max=1ms min=2ms",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := Parse(s)
+		if err != nil {
+			return // rejected inputs just need a clean error
+		}
+		out := plan.String()
+		plan2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Parse rejected its own String output %q: %v", out, err)
+		}
+		out2 := plan2.String()
+		if out2 != out {
+			t.Fatalf("plan grammar not a fixpoint:\n  in:  %q\n  out: %q\n  re:  %q", s, out, out2)
+		}
+	})
+}

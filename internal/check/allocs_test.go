@@ -1,0 +1,72 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"mirage/internal/core"
+	"mirage/internal/mem"
+	"mirage/internal/obs"
+)
+
+// nullEnv is a do-nothing core.Env for alloc measurement.
+type nullEnv struct{}
+
+func (nullEnv) Site() int                          { return 0 }
+func (nullEnv) Now() time.Duration                 { return 0 }
+func (nullEnv) After(time.Duration, func()) func() { return func() {} }
+func (nullEnv) Send(int, core.NetMsg)              {}
+func (nullEnv) Exec(cost time.Duration, fn func()) { fn() }
+
+func opTestEngine(o *obs.Obs) *core.Engine {
+	e := core.New(nullEnv{}, core.Options{Costs: &core.Costs{}, Obs: o})
+	e.CreateSegment(&mem.Segment{
+		ID: 1, Key: 1, Size: 128, PageSize: 64, Pages: 2, Library: 0, Mode: 0o666,
+	})
+	return e
+}
+
+// The acceptance gate: with checking/tracing off, the per-access
+// RecordOp hook must cost zero allocations — it sits on the hottest
+// path in the tree (every Read/Write/At access).
+func TestRecordOpDisabledZeroAllocs(t *testing.T) {
+	buf := []byte{42}
+	for _, tc := range []struct {
+		name string
+		o    *obs.Obs
+	}{
+		{"nil-obs", nil},
+		{"metrics-only", &obs.Obs{Metrics: obs.NewRegistry()}},
+	} {
+		e := opTestEngine(tc.o)
+		n := testing.AllocsPerRun(1000, func() {
+			e.RecordOp(1, 0, 0, true, buf)
+			e.RecordOp(1, 0, 0, false, buf)
+		})
+		if n != 0 {
+			t.Errorf("%s: RecordOp allocates %.1f/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// With tracing on, RecordOp must actually emit both op events.
+func TestRecordOpEmits(t *testing.T) {
+	o := &obs.Obs{Tracer: obs.NewBuffer()}
+	e := opTestEngine(o)
+	e.RecordOp(1, 1, 3, true, []byte{1, 2})
+	e.RecordOp(1, 1, 3, false, []byte{1, 2})
+	evs := o.Buffer().Events()
+	if len(evs) < 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	w, r := evs[len(evs)-2], evs[len(evs)-1]
+	if w.Type != obs.EvWrite || r.Type != obs.EvRead {
+		t.Fatalf("types %v, %v", w.Type, r.Type)
+	}
+	if w.Seg != 1 || w.Page != 1 || w.From != 3 || w.To != 2 {
+		t.Fatalf("write event fields %+v", w)
+	}
+	if w.Arg != r.Arg || w.Arg == 0 {
+		t.Fatalf("digest mismatch: write %x read %x", w.Arg, r.Arg)
+	}
+}

@@ -1,0 +1,55 @@
+//go:build mirage_mutation
+
+package check
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMutationWindowViolationCaught is the detector-of-detectors: the
+// build tag mirage_mutation flips core's mutateSkipWindowCheck, making
+// the clock site honor invalidations inside an unexpired Δ window. The
+// explorer must catch that as a window-revoked-early violation and hand
+// back a shrunk, replayable counterexample.
+//
+// Run it alone — the tag breaks the protocol, so the package's other
+// tests rightly fail under it:
+//
+//	go test -tags mirage_mutation ./internal/check -run TestMutation
+func TestMutationWindowViolationCaught(t *testing.T) {
+	res := Exhaustive(windowScenario(), ExploreOpts{MaxRuns: 200})
+	if res.Counterexample == nil {
+		t.Fatalf("mutation not caught in %d runs", res.Runs)
+	}
+	wantInv(t, res.Violations, InvWindow)
+
+	r := *res.Counterexample
+	t.Logf("counterexample: ops=%v choices=%v", r.Scenario.Ops, r.Choices)
+	if len(r.Scenario.Ops) > 2 {
+		t.Errorf("shrink left %d ops, want <=2 (one write to own the window, one to revoke it)",
+			len(r.Scenario.Ops))
+	}
+
+	// The repro must replay byte-identically and still show the bug.
+	a, b := r.Replay(), r.Replay()
+	if a.TraceSHA != b.TraceSHA {
+		t.Fatalf("replay diverged: %s vs %s", a.TraceSHA, b.TraceSHA)
+	}
+	wantInv(t, a.Violations, InvWindow)
+
+	// And survive the serialization round trip CI artifacts go through.
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dec.Replay()
+	if c.TraceSHA != a.TraceSHA {
+		t.Fatal("decoded repro replays a different trace")
+	}
+	wantInv(t, c.Violations, InvWindow)
+}

@@ -262,8 +262,37 @@ func (e *Engine) emit(ev obs.Event) {
 
 // markStale counts a tolerated out-of-cycle or inconsistent message.
 func (e *Engine) markStale() {
-	e.markStale()
+	e.stats.Stale++
 	e.obs.Count(e.site, obs.CStale)
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters RecordOp
+// digests op payloads with.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// RecordOp notes a completed application-level access for the coherence
+// history checker: an EvRead/EvWrite trace event carrying the page
+// range (From: offset, To: length) and an FNV-1a digest of the bytes as
+// read or written. Access layers call it after the data moved, while
+// still serialized with the engine. With tracing off it is a pointer
+// test and a return — zero allocations, like every other obs hook.
+func (e *Engine) RecordOp(seg, page int32, off int, write bool, b []byte) {
+	if !e.obs.Tracing() {
+		return
+	}
+	var h uint64 = fnvOffset
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	typ := obs.EvRead
+	if write {
+		typ = obs.EvWrite
+	}
+	e.emit(obs.Event{Type: typ, Seg: seg, Page: page,
+		From: int32(off), To: int32(len(b)), Arg: int64(h)})
 }
 
 // Stats returns a snapshot of the counters.
@@ -290,6 +319,9 @@ func (e *Engine) CreateSegment(meta *mem.Segment) {
 		a.Window = 0 // the creator's initial hold is not a granted window
 		lib.pages[p].writer = e.site
 		lib.pages[p].clock = e.site
+		// Seed the trace with the initial placement so a checker reading
+		// it cold knows who holds what (Cycle 0 marks it ungranted).
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(meta.ID), Page: int32(p), Arg: 2})
 	}
 }
 

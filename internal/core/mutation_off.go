@@ -1,0 +1,10 @@
+//go:build !mirage_mutation
+
+package core
+
+// mutateSkipWindowCheck is the production value of the coherence
+// mutation switch: the clock site enforces the Δ window on every
+// invalidation (Table 1). Building with -tags mirage_mutation flips it,
+// deliberately breaking the window guarantee so the schedule explorer's
+// mutation test (internal/check) can prove it detects the violation.
+const mutateSkipWindowCheck = false

@@ -1,0 +1,10 @@
+//go:build mirage_mutation
+
+package core
+
+// mutateSkipWindowCheck: MUTATION BUILD. The clock site ignores
+// unexpired Δ windows and honors every invalidation immediately —
+// revoking possession the protocol promised (§6.1). Only the mutation
+// test builds with this tag; it asserts the schedule explorer catches
+// the violation with a replayable counterexample.
+const mutateSkipWindowCheck = true

@@ -350,6 +350,9 @@ func (e *Engine) invalOrderFailed(sn *segNode, m *wire.Msg, to int) {
 			return
 		}
 		sn.m.Install(p, pi.data, mmu.ReadOnly, now)
+		// No Cycle: the rolled-back copy carries no window (a.Window = 0
+		// below), and the checker keys window grants on Cycle != 0.
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 1})
 	}
 	a := sn.m.Aux(p)
 	a.Writer = mmu.NoWriter
@@ -392,6 +395,7 @@ func (e *Engine) failPage(sn *segNode, seg, page int32, err error) {
 			sn.m.Invalidate(p)
 			a.ReaderMask = 0
 			a.Writer = mmu.NoWriter
+			e.emit(obs.Event{Type: obs.EvPageState, Seg: seg, Page: page})
 			// The library still lists this site as a reader — and
 			// possibly as the clock. Shed the record entry (the frame
 			// rides along as the rehome copy, like any release) so the

@@ -113,6 +113,7 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 	p.writer = e.site
 	p.readers = 0
 	p.clock = e.site
+	e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(sn.meta.ID), Page: page, Arg: 2})
 }
 
 // handleReleaseDone finalizes one page release at the departing site.
@@ -133,6 +134,7 @@ func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
 		a := sn.m.Aux(p)
 		a.ReaderMask = 0
 		a.Writer = mmu.NoWriter
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page})
 	}
 	sn.releasesPending--
 	if sn.releasesPending == 0 {

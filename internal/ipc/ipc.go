@@ -47,6 +47,10 @@ type DSM interface {
 	// back instead of served, and the woken access should surface the
 	// error. Engines without a failure model always return nil.
 	FaultError(seg, page int32) error
+	// RecordOp emits a per-access op event (offset, length, content
+	// digest) for the coherence checker; a no-op pointer test when
+	// tracing is off.
+	RecordOp(seg, page int32, off int, write bool, b []byte)
 	MappedPages() int
 	Deliver(payload any)
 }
@@ -375,7 +379,11 @@ func (h *Shm) access(off, n int, write bool, fn func(frame []byte, frameOff, buf
 			h.proc.site.c.FaultLatency.Observe(lat)
 			h.proc.site.c.obs.Observe(obs.HFaultLatency, int64(lat))
 		}
-		fn(eng.Frame(segID, int32(page)), fo, bufOff, k)
+		frame := eng.Frame(segID, int32(page))
+		fn(frame, fo, bufOff, k)
+		// Op record for the coherence checker; a pointer test when
+		// tracing is off.
+		eng.RecordOp(segID, int32(page), fo, write, frame[fo:fo+k])
 		off += k
 		bufOff += k
 		n -= k

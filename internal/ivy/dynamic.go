@@ -515,3 +515,7 @@ func (e *Dynamic) handleDynReleaseDone(sn *dynSeg, m *Msg) {
 // FaultError implements ipc.DSM; the dynamic-manager baseline has no
 // failure model, so accesses never surface degraded-grant errors.
 func (d *Dynamic) FaultError(seg, page int32) error { return nil }
+
+// RecordOp implements ipc.DSM; the dynamic-manager baseline does not
+// emit the coherence checker's op events.
+func (d *Dynamic) RecordOp(seg, page int32, off int, write bool, b []byte) {}

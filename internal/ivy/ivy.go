@@ -553,3 +553,7 @@ var _ = vaxmodel.PageSize
 // FaultError implements ipc.DSM; the IVY baseline has no failure
 // model, so accesses never surface degraded-grant errors.
 func (e *Engine) FaultError(seg, page int32) error { return nil }
+
+// RecordOp implements ipc.DSM; the IVY baseline does not emit the
+// coherence checker's op events.
+func (e *Engine) RecordOp(seg, page int32, off int, write bool, b []byte) {}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// seedTrace builds a representative well-formed trace for the corpus.
+func seedTrace() []byte {
+	events := []Event{
+		{T: 0, Site: 0, Type: EvPageState, Seg: 1, Page: 0, Arg: 2},
+		{T: time.Millisecond, Site: 1, Type: EvFault, Seg: 1, Page: 0, Arg: 1},
+		{T: time.Millisecond, Site: 0, Type: EvGrantStart, Seg: 1, Page: 0, To: 1, Cycle: 1},
+		{T: 2 * time.Millisecond, Site: 0, Type: EvMsgSend, Seg: 1, Page: 0, From: 0, To: 1, Kind: 3},
+		{T: 3 * time.Millisecond, Site: 1, Type: EvPageState, Seg: 1, Page: 0, Cycle: 1, Arg: 1},
+		{T: 3 * time.Millisecond, Site: 0, Type: EvGrantEnd, Seg: 1, Page: 0, Cycle: 1},
+		{T: 4 * time.Millisecond, Site: 1, Type: EvRead, Seg: 1, Page: 0, From: 8, To: 4, Arg: -12345},
+		{T: 5 * time.Millisecond, Site: 1, Type: EvWrite, Seg: 1, Page: 0, From: 8, To: 4, Arg: 7},
+	}
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, NewHeader(ClockVirtual, 2), events); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzReadJSONL checks the decode→encode→decode loop: whatever
+// ReadJSONL accepts must re-serialize deterministically, and the
+// re-serialized form must be a fixpoint (one normalization pass, then
+// byte-stable forever). This is the property the simulator's
+// determinism checks and the trace-digest comparisons rely on.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(seedTrace())
+	f.Add([]byte(`{"schema":"mirage-trace","version":1,"clock":"wall","sites":3}` + "\n"))
+	f.Add([]byte(`{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n" +
+		`{"t":5,"site":1,"ev":"read","seg":1,"page":0,"from":0,"to":4,"arg":-1}` + "\n"))
+	f.Add([]byte(`{"schema":"other"}` + "\n"))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, events, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // malformed inputs just need a clean error
+		}
+		var first bytes.Buffer
+		if err := WriteJSONL(&first, hdr, events); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		hdr2, events2, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v\n%s", err, first.Bytes())
+		}
+		if hdr2 != hdr {
+			t.Fatalf("header changed across round trip: %+v -> %+v", hdr, hdr2)
+		}
+		if len(events2) != len(events) {
+			t.Fatalf("event count changed: %d -> %d", len(events), len(events2))
+		}
+		var second bytes.Buffer
+		if err := WriteJSONL(&second, hdr2, events2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization not a fixpoint:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -42,7 +42,8 @@ func NewHeader(clock string, sites int) Header {
 // order, so identical event sequences serialize to identical bytes —
 // the property the determinism tests assert. Optional fields follow
 // fixed inclusion rules: kind only for message events, from/to only
-// for message-flow events, cycle only when non-zero.
+// for message-flow and op events (op events reuse them as offset and
+// length), cycle only when non-zero.
 func appendEvent(b []byte, ev Event) []byte {
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, int64(ev.T), 10)
@@ -61,7 +62,7 @@ func appendEvent(b []byte, ev Event) []byte {
 	b = append(b, `,"page":`...)
 	b = strconv.AppendInt(b, int64(ev.Page), 10)
 	switch ev.Type {
-	case EvMsgSend, EvMsgRecv, EvRetransmit, EvChaos:
+	case EvMsgSend, EvMsgRecv, EvRetransmit, EvChaos, EvRead, EvWrite:
 		b = append(b, `,"from":`...)
 		b = strconv.AppendInt(b, int64(ev.From), 10)
 		b = append(b, `,"to":`...)

@@ -78,6 +78,15 @@ const (
 	EvRetransmit
 	// EvChaos is a fault-injection verdict (Arg: a ChaosVerdict).
 	EvChaos
+	// EvRead is a completed application-level read of a page range.
+	// From is the byte offset within the page, To the length, Arg the
+	// FNV-1a 64-bit digest of the bytes read. Emitted by the access
+	// layers when op recording is on; the coherence history checker
+	// (internal/check) replays these against the latest-write oracle.
+	EvRead
+	// EvWrite is a completed application-level write of a page range;
+	// fields as EvRead, with Arg digesting the bytes as written.
+	EvWrite
 
 	evTypeCount
 )
@@ -105,6 +114,8 @@ var evNames = [...]string{
 	EvDowngrade:  "downgrade",
 	EvRetransmit: "retransmit",
 	EvChaos:      "chaos",
+	EvRead:       "read",
+	EvWrite:      "write",
 }
 
 func (t EvType) String() string {

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChooserDefaultOrder: a chooser that always picks index 0 must
+// reproduce the FIFO schedule exactly.
+func TestChooserDefaultOrder(t *testing.T) {
+	run := func(choose Chooser) []int {
+		k := NewKernel()
+		k.SetChooser(choose)
+		var got []int
+		for i := 0; i < 5; i++ {
+			i := i
+			k.At(Time(10*time.Millisecond), func() { got = append(got, i) })
+		}
+		k.Run()
+		return got
+	}
+	want := run(nil)
+	if got := run(func(n int) int { return 0 }); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chooser(0) schedule %v != FIFO %v", got, want)
+	}
+}
+
+// TestChooserPermutes: picking the last ready event each time reverses
+// the same-instant order, and events at different instants are never
+// offered together.
+func TestChooserPermutes(t *testing.T) {
+	k := NewKernel()
+	var sizes []int
+	k.SetChooser(func(n int) int {
+		sizes = append(sizes, n)
+		return n - 1
+	})
+	var got []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.At(Time(time.Millisecond), func() { got = append(got, i) })
+	}
+	k.At(Time(2*time.Millisecond), func() { got = append(got, 99) })
+	k.Run()
+	want := []int{3, 2, 1, 0, 99}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reverse chooser ran %v, want %v", got, want)
+	}
+	// Ready-set sizes shrink as the instant drains: 4, 3, 2 (singletons
+	// are not offered).
+	if !reflect.DeepEqual(sizes, []int{4, 3, 2}) {
+		t.Fatalf("chooser saw ready sizes %v, want [4 3 2]", sizes)
+	}
+}
+
+// TestChooserCancelled: cancelled events never reach the chooser and a
+// chooser pick of an out-of-range index falls back to FIFO.
+func TestChooserCancelled(t *testing.T) {
+	k := NewKernel()
+	k.SetChooser(func(n int) int { return 1000 })
+	var got []int
+	a := k.At(Time(time.Millisecond), func() { got = append(got, 0) })
+	k.At(Time(time.Millisecond), func() { got = append(got, 1) })
+	k.At(Time(time.Millisecond), func() { got = append(got, 2) })
+	a.Cancel()
+	k.Run()
+	if want := []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestChooserTimersStayCancelable: events scheduled by chosen callbacks
+// at the same instant re-enter the ready set on later steps.
+func TestChooserTimersStayCancelable(t *testing.T) {
+	k := NewKernel()
+	k.SetChooser(func(n int) int { return n - 1 })
+	var got []int
+	k.Post(func() {
+		got = append(got, 1)
+		tm := k.Post(func() { got = append(got, 2) })
+		k.Post(func() { got = append(got, 3); tm.Cancel() })
+	})
+	k.Post(func() { got = append(got, 4) })
+	k.Run()
+	// First step offers {1,4}: reverse chooser runs 4; then 1; then its
+	// children {2,3}: runs 3, which cancels 2.
+	if want := []int{4, 1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}

@@ -83,7 +83,25 @@ type Kernel struct {
 	queue   eventHeap
 	running bool
 	procs   int // live processes (diagnostic)
+
+	choose Chooser // nil: FIFO among same-instant events
+	ready  []*event
 }
+
+// Chooser resolves scheduling nondeterminism: when n (>= 2) events are
+// runnable at the same virtual instant, it returns the index of the one
+// to run next. Indices follow insertion (FIFO) order, so index 0 always
+// reproduces the default schedule. Out-of-range returns are clamped.
+//
+// The hook exists for the coherence schedule explorer (internal/check):
+// permuting same-instant event order is exactly the interleaving freedom
+// a real cluster has that the default deterministic kernel hides.
+type Chooser func(n int) int
+
+// SetChooser installs (or, with nil, removes) the same-instant event
+// chooser. Call it before running; swapping mid-run is allowed but the
+// chooser only affects events popped after the call.
+func (k *Kernel) SetChooser(c Chooser) { k.choose = c }
 
 // NewKernel returns a kernel with an empty event queue at time zero.
 func NewKernel() *Kernel {
@@ -136,12 +154,17 @@ func (k *Kernel) After(d time.Duration, fn func()) *Timer {
 func (k *Kernel) Post(fn func()) *Timer { return k.At(k.now, fn) }
 
 // Step runs the next event, advancing the clock to its timestamp.
-// It reports whether an event was run.
+// It reports whether an event was run. With a Chooser installed and
+// several events runnable at the same instant, the chooser picks which
+// one runs; otherwise insertion order breaks the tie.
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		e := heap.Pop(&k.queue).(*event)
 		if e.fn == nil { // cancelled
 			continue
+		}
+		if k.choose != nil {
+			e = k.stepChoice(e)
 		}
 		k.now = e.at
 		fn := e.fn
@@ -150,6 +173,36 @@ func (k *Kernel) Step() bool {
 		return true
 	}
 	return false
+}
+
+// stepChoice gathers every live event sharing first's instant, asks the
+// chooser to pick one, and re-queues the rest. The gathered slice is in
+// seq (FIFO) order because the heap pops equal-time events that way, so
+// chooser index 0 is always the default schedule.
+func (k *Kernel) stepChoice(first *event) *event {
+	k.ready = append(k.ready[:0], first)
+	for len(k.queue) > 0 && k.queue[0].at == first.at {
+		e := heap.Pop(&k.queue).(*event)
+		if e.fn == nil {
+			continue
+		}
+		k.ready = append(k.ready, e)
+	}
+	pick := 0
+	if len(k.ready) > 1 {
+		pick = k.choose(len(k.ready))
+		if pick < 0 || pick >= len(k.ready) {
+			pick = 0
+		}
+	}
+	chosen := k.ready[pick]
+	for i, e := range k.ready {
+		if i != pick {
+			heap.Push(&k.queue, e)
+		}
+		k.ready[i] = nil
+	}
+	return chosen
 }
 
 // Run executes events until the queue is empty.

@@ -182,6 +182,13 @@ type Options struct {
 	// protocol hot paths then cost one pointer test and zero
 	// allocations.
 	Obs *Obs
+	// Check, when true, records a per-access operation event — offset,
+	// length, and a content digest — into the trace for every segment
+	// read and write, giving the coherence checker (VerifyTrace) the
+	// read-your-writes oracle in addition to the protocol events.
+	// Requires Obs with a tracer (NewObs provides one). Off by default:
+	// op events add trace volume proportional to data accesses.
+	Check bool
 	// DebugAddr, when non-empty, serves debug HTTP on the address
 	// (e.g. "127.0.0.1:0" for an ephemeral port): /debug/obs (metrics
 	// snapshot as JSON), /debug/obs/trace (the trace buffer as JSONL),

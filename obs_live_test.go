@@ -54,6 +54,7 @@ func TestLiveTracedRun(t *testing.T) {
 				Delta:     5 * time.Millisecond,
 				TCP:       tcp,
 				Obs:       o,
+				Check:     true,
 				DebugAddr: "127.0.0.1:0",
 			})
 			if err != nil {
@@ -121,6 +122,20 @@ func TestLiveTracedRun(t *testing.T) {
 			}
 			var vars map[string]json.RawMessage
 			getJSON(t, base+"/debug/vars", &vars)
+
+			// With Options.Check the trace carries per-access op events
+			// and the whole run must verify coherent: the checker sees
+			// every read observe the latest write it should.
+			if obs.Summarize(events).ByType[obs.EvRead] == 0 {
+				t.Error("Options.Check produced no op events")
+			}
+			viols, err := c.VerifyTrace()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range viols {
+				t.Errorf("coherence violation in live trace: %v", v)
+			}
 		})
 	}
 }
@@ -148,6 +163,39 @@ func getJSON(t *testing.T, url string, into any) {
 func TestDebugAddrRequiresObs(t *testing.T) {
 	if _, err := mirage.NewCluster(2, mirage.Options{DebugAddr: "127.0.0.1:0"}); err == nil {
 		t.Fatal("NewCluster accepted DebugAddr without Obs")
+	}
+}
+
+// TestCheckRequiresTracer pins the Options.Check validation: op events
+// go to the trace, so there must be a tracer to receive them.
+func TestCheckRequiresTracer(t *testing.T) {
+	if _, err := mirage.NewCluster(2, mirage.Options{Check: true}); err == nil {
+		t.Fatal("NewCluster accepted Check without Obs")
+	}
+	o := &mirage.Obs{} // no tracer
+	if _, err := mirage.NewCluster(2, mirage.Options{Check: true, Obs: o}); err == nil {
+		t.Fatal("NewCluster accepted Check with a tracerless Obs")
+	}
+}
+
+// TestVerifyTraceAPI exercises the package-level checker entry on a
+// hand-rolled violating trace, and the Cluster method's error paths.
+func TestVerifyTraceAPI(t *testing.T) {
+	bad := []mirage.TraceEvent{
+		{Type: obs.EvPageState, Seg: 1, Site: 0, Arg: 2},
+		{Type: obs.EvPageState, Seg: 1, Site: 1, Cycle: 1, Arg: 2},
+	}
+	viols := mirage.VerifyTrace(mirage.CheckConfig{Sites: 2}, bad)
+	if len(viols) == 0 {
+		t.Fatal("VerifyTrace missed a two-writer trace")
+	}
+	c, err := mirage.NewCluster(2, mirage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.VerifyTrace(); err == nil {
+		t.Fatal("Cluster.VerifyTrace should fail without Obs")
 	}
 }
 

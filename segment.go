@@ -89,7 +89,14 @@ func (g *Segment) access(off, n int, write bool, fn func(frame []byte, frameOff,
 					return
 				}
 				if nd.eng.CheckAccess(segID, int32(page), write) == mmu.NoFault {
-					fn(nd.eng.Frame(segID, int32(page)), fo, bufOff, k)
+					frame := nd.eng.Frame(segID, int32(page))
+					fn(frame, fo, bufOff, k)
+					if g.site.c.opts.Check {
+						// Op record for VerifyTrace; on the actor loop,
+						// so it lands in causal order with the protocol
+						// events.
+						nd.eng.RecordOp(segID, int32(page), fo, write, frame[fo:fo+k])
+					}
 					done <- true
 					return
 				}
