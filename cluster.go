@@ -41,8 +41,14 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if opts.PageSize < 0 {
 		return nil, fmt.Errorf("mirage: negative page size")
 	}
+	if opts.Delta < 0 {
+		return nil, fmt.Errorf("mirage: negative Options.Delta %v", opts.Delta)
+	}
 	if opts.Chaos != nil && opts.Reliability == nil {
 		return nil, fmt.Errorf("mirage: Options.Chaos requires Options.Reliability")
+	}
+	if opts.Failover != nil && opts.Reliability == nil {
+		return nil, fmt.Errorf("mirage: Options.Failover requires Options.Reliability")
 	}
 	if opts.DebugAddr != "" && opts.Obs == nil {
 		return nil, fmt.Errorf("mirage: Options.DebugAddr requires Options.Obs")
@@ -65,6 +71,13 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		Costs:       &core.Costs{}, // live nodes run at native speed
 		Reliability: opts.Reliability,
 		Obs:         opts.Obs,
+	}
+	if opts.Failover != nil {
+		// Copy so the caller's struct is untouched; the cluster knows
+		// its own size better than the caller does.
+		fo := *opts.Failover
+		fo.Sites = n
+		engOpts.Failover = &fo
 	}
 	if opts.TCP {
 		var meshes []*transport.TCPMesh
@@ -281,7 +294,7 @@ func (s *Site) Remove(id SegID) error {
 }
 
 // SetSegmentDelta changes Δ for every page of a segment. It must be
-// called on the segment's library site.
+// called on the segment's library site; negative windows are rejected.
 func (s *Site) SetSegmentDelta(id SegID, delta time.Duration) error {
 	var err error
 	nd := s.node
@@ -291,7 +304,7 @@ func (s *Site) SetSegmentDelta(id SegID, delta time.Duration) error {
 				err = fmt.Errorf("mirage: SetSegmentDelta: site %d is not the library for segment %d", s.id, id)
 			}
 		}()
-		nd.eng.SetSegmentDelta(int32(id), delta)
+		err = nd.eng.SetSegmentDelta(int32(id), delta)
 	})
 	return err
 }

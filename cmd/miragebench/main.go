@@ -22,6 +22,12 @@
 // exhaustive enumeration of every schedule of a tiny contended
 // scenario, plus a seed-swept random walk under an adversarial fault
 // plan — any invariant violation fails the command.
+//
+// E18 fail-stops the library site — then each successor — under a
+// contended counter workload and measures takeover cost: recovery
+// latency per crash and end-to-end throughput versus crash count.
+// Every point's multi-epoch trace is re-verified by the coherence
+// checker; -trace saves the deepest point's trace for miragetrace.
 package main
 
 import (
@@ -134,12 +140,12 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e17) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e18) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
 	out := fs.String("out", "", "write a JSON benchmark record to this file")
-	tracePath := fs.String("trace", "", "e16: write the Δ=quantum point's protocol trace (JSONL) to this file")
+	tracePath := fs.String("trace", "", "e16/e18: write a protocol trace (JSONL) to this file; e18's deepest-crash trace wins when both run")
 	metrics := fs.Bool("metrics", false, "e16: print each point's full denial breakdown")
 	if fs.Parse(args) != nil {
 		return 2
@@ -442,6 +448,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			code = 1
 		}
 		fmt.Fprintln(stdout, "paper: §4–§6 protocol rules as machine-checked invariants; see DESIGN.md §10")
+	})
+
+	run("e18", "beyond the paper: library-site failover sweep (E18)", func() {
+		perSite := 20
+		if *quick {
+			perSite = 8
+		}
+		r := exp.FailoverSweep(perSite, []int{0, 1, 2})
+		t := stats.NewTable("library crashes", "completed", "elapsed", "inc/s",
+			"failovers", "recoveries", "mean recovery", "max epoch", "stale fenced")
+		for _, p := range r.Points {
+			mean := "-"
+			if len(p.RecoverLatency) > 0 {
+				var sum time.Duration
+				for _, d := range p.RecoverLatency {
+					sum += d
+				}
+				mean = (sum / time.Duration(len(p.RecoverLatency))).Round(time.Millisecond).String()
+			}
+			t.Row(p.Crashes, p.Completed, p.Elapsed.Round(time.Millisecond),
+				fmt.Sprintf("%.1f", p.Throughput), p.Failovers, p.Recoveries,
+				mean, p.MaxEpoch, p.StaleEpoch)
+		}
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "same-seed replay identical: %v\n", r.ReplayMatches)
+		// Re-verify every point's trace through the coherence checker:
+		// takeover must not cost correctness, only latency.
+		for _, p := range r.Points {
+			_, events, err := obs.ReadJSONL(bytes.NewReader(p.TraceJSONL))
+			if err != nil {
+				fmt.Fprintf(stderr, "miragebench: reparse e18 trace: %v\n", err)
+				code = 1
+				return
+			}
+			if viols := check.Verify(check.Config{Sites: 4, Reliable: true}, events); len(viols) > 0 {
+				for _, v := range viols {
+					fmt.Fprintf(stdout, "violation (crashes=%d): %v\n", p.Crashes, v)
+				}
+				code = 1
+			}
+		}
+		if code == 0 {
+			fmt.Fprintln(stdout, "all multi-epoch traces verify coherent")
+		}
+		if *tracePath != "" {
+			deepest := r.Points[len(r.Points)-1]
+			if err := os.WriteFile(*tracePath, deepest.TraceJSONL, 0o644); err != nil {
+				fmt.Fprintf(stderr, "miragebench: write %s: %v\n", *tracePath, err)
+				code = 1
+				return
+			}
+			fmt.Fprintf(stdout, "trace (%d crashes): %s\n", deepest.Crashes, *tracePath)
+		}
+		fmt.Fprintln(stdout, "paper: §10.0 \"the current implementation does not tolerate site failures\" — E18 adds the tolerance and prices it")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

@@ -60,6 +60,26 @@ func TestE17ModelCheck(t *testing.T) {
 	}
 }
 
+func TestE18FailoverSweepCommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "e18.jsonl")
+	code, stdout, stderr := runBench(t, "-e", "e18", "-quick", "-trace", out)
+	if code != 0 {
+		t.Fatalf("E18 failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"== E18 —", "recoveries", "same-seed replay identical: true",
+		"all multi-epoch traces verify coherent", "trace (2 crashes): "} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "violation") {
+		t.Errorf("unexpected violations:\n%s", stdout)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("trace file not written: %v", err)
+	}
+}
+
 func TestOutRecord(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbench loopback TCP is slow")

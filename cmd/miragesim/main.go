@@ -17,6 +17,7 @@
 //	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
 //	miragesim -workload counters -delta 600ms -runs 8
 //	miragesim -workload counters -delta 600ms -check
+//	miragesim -workload readers -sites 3 -chaos "crash site=0 from=2s" -failover -check
 //
 // -trace writes the run's protocol event timeline in the schema-v1
 // JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
@@ -28,6 +29,13 @@
 // verifies it against the coherence invariants (internal/check); any
 // violation is printed and the command exits 1. The virtual clock
 // makes the check exact — no timestamp slack is needed.
+//
+// -failover turns on library-site failover (DESIGN.md §11): when a
+// chaos plan fail-stops the library site, the next live site by number
+// reconstructs its records from the survivors and resumes granting
+// under a bumped library epoch. The flag implies the reliability
+// layer; the per-site failover/recovery/fencing counters are printed
+// after the run.
 //
 // -runs N executes the scenario N times concurrently (one virtual
 // cluster each) and verifies every run produced identical results —
@@ -79,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reflogPath := fs.String("reflog", "", "write the library's reference log to this file")
 	metrics := fs.Bool("metrics", false, "dump the observability metrics registry after the run")
 	chaosSpec := fs.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
+	failover := fs.Bool("failover", false, "elect a successor library when the library site fail-stops (implies the ARQ layer)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	runs := fs.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
 	checkRun := fs.Bool("check", false, "verify the run's trace against the coherence invariants; exit 1 on violation")
@@ -157,6 +166,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			plan = &p
 			// A lossy fabric needs the ARQ layer; zero value = defaults.
 			opts.Reliability = &core.Reliability{}
+		}
+		if *failover {
+			// Failover rides on the ARQ give-up verdict, so it implies
+			// the reliability layer even on a clean fabric.
+			if opts.Reliability == nil {
+				opts.Reliability = &core.Reliability{}
+			}
+			opts.Failover = &core.Failover{}
 		}
 		c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
 		var headline string
@@ -246,6 +263,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rt.Row(i, es.Retransmits, es.DupDrops, es.GaveUp, es.Degraded, es.Stale, es.Denied)
 		}
 		rt.WriteTo(stdout)
+	}
+
+	if *failover {
+		ft := stats.NewTable("site", "failovers", "recoveries", "stale-epoch fenced")
+		for i := 0; i < c.Sites(); i++ {
+			es := c.Site(i).Eng.Stats()
+			ft.Row(i, es.Failovers, es.Recoveries, es.StaleEpoch)
+		}
+		fmt.Fprintln(stdout)
+		ft.WriteTo(stdout)
 	}
 
 	if h := c.FaultLatency; h.Count() > 0 {

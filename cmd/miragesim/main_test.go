@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,25 @@ func TestCheckedChaosRun(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "chaos plan:") {
 		t.Errorf("chaos stats missing:\n%s", stdout)
+	}
+}
+
+func TestFailoverCheckedRun(t *testing.T) {
+	// Crash the library mid-run: the survivor elects itself successor,
+	// the workload completes, and the multi-epoch trace verifies clean.
+	code, stdout, stderr := runSim(t,
+		"-workload", "counters", "-dur", "4s",
+		"-chaos", "crash site=0 from=2s", "-failover", "-check")
+	if code != 0 {
+		t.Fatalf("failover run check failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"failovers", "clean"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^1\s+1\s+1\s+0$`).MatchString(stdout) {
+		t.Errorf("site 1 should report one failover and one recovery:\n%s", stdout)
 	}
 }
 

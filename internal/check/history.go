@@ -22,8 +22,13 @@ type rangeKey struct {
 
 type installKey struct {
 	site  int32
+	epoch uint32
 	cycle uint32
 	state int8
+}
+
+type cycleKey struct {
+	epoch, cycle uint32
 }
 
 // pageCheck is the checker's shadow of one page's global state.
@@ -39,13 +44,15 @@ type pageCheck struct {
 	// windowUntil is, per site, the virtual instant the Δ window of its
 	// current granted copy expires. Only consulted at the clock.
 	windowUntil map[int32]time.Duration
-	// openCycle is the grant cycle currently running at the library
-	// (0 = none); lastStart the highest cycle ever started.
-	openCycle uint32
-	lastStart uint32
+	// openCycle is, per library epoch, the grant cycle currently running
+	// at that epoch's library (0 = none); lastStart the highest cycle
+	// ever started there. Cycle numbers restart from scratch when a
+	// successor library takes over, so serialization is per epoch.
+	openCycle map[uint32]uint32
+	lastStart map[uint32]uint32
 	// ended records committed cycles; installs records applied granted
-	// installs. Both back the exactly-once invariant.
-	ended    map[uint32]bool
+	// installs. Both back the exactly-once invariant, per (cycle, epoch).
+	ended    map[cycleKey]bool
 	installs map[installKey]bool
 	// writes holds the digest of the last completed write per exact
 	// byte range; overlapping writes of a different shape evict stale
@@ -98,7 +105,9 @@ func (c *Checker) page(ev obs.Event) *pageCheck {
 			st:          make(map[int32]int8),
 			clock:       -1,
 			windowUntil: make(map[int32]time.Duration),
-			ended:       make(map[uint32]bool),
+			openCycle:   make(map[uint32]uint32),
+			lastStart:   make(map[uint32]uint32),
+			ended:       make(map[cycleKey]bool),
 			installs:    make(map[installKey]bool),
 			writes:      make(map[rangeKey]uint64),
 		}
@@ -128,6 +137,28 @@ func (c *Checker) Feed(ev obs.Event) {
 		c.grantEnd(ev)
 	case obs.EvRead, obs.EvWrite:
 		c.op(ev)
+	case obs.EvRecover:
+		c.recover(ev)
+	}
+}
+
+// recover handles a library-failover recovery commit: the successor
+// (ev.Site) rebuilt the segment's records for a new epoch and ev.Arg is
+// the dead library site. Everything the checker believed about the dead
+// site is fenced to "never observed": copies it held are unreachable,
+// not provably invalid, and the recovery may have reassigned roles the
+// trace cannot observe directly.
+func (c *Checker) recover(ev obs.Event) {
+	dead := int32(ev.Arg)
+	for k, p := range c.pages {
+		if k.seg != ev.Seg {
+			continue
+		}
+		delete(p.st, dead)
+		delete(p.windowUntil, dead)
+		if p.clock == dead {
+			p.clock = -1
+		}
 	}
 }
 
@@ -156,7 +187,7 @@ func (c *Checker) installOnce(p *pageCheck, ev obs.Event, state int8) {
 	if ev.Cycle == 0 {
 		return
 	}
-	k := installKey{ev.Site, ev.Cycle, state}
+	k := installKey{ev.Site, ev.Epoch, ev.Cycle, state}
 	if p.installs[k] {
 		c.report(InvExactlyOnce, ev,
 			"granted install (cycle %d, state %d) applied twice at site %d",
@@ -269,35 +300,37 @@ func (c *Checker) grantStart(ev obs.Event) {
 		c.report(InvSchema, ev, "grant start with cycle 0")
 		return
 	}
-	if ev.Cycle <= p.lastStart {
+	if ev.Cycle <= p.lastStart[ev.Epoch] {
 		c.report(InvWriteSerial, ev,
-			"cycle %d started after cycle %d", ev.Cycle, p.lastStart)
+			"cycle %d started after cycle %d (epoch %d)",
+			ev.Cycle, p.lastStart[ev.Epoch], ev.Epoch)
 	}
-	if p.openCycle != 0 && !c.cfg.Reliable {
+	if p.openCycle[ev.Epoch] != 0 && !c.cfg.Reliable {
 		c.report(InvWriteSerial, ev,
-			"cycle %d started while cycle %d still open", ev.Cycle, p.openCycle)
+			"cycle %d started while cycle %d still open", ev.Cycle, p.openCycle[ev.Epoch])
 	}
 	// Under the reliability layer an open cycle may have been aborted
 	// without a commit event; the new start closes it implicitly.
-	p.openCycle = ev.Cycle
-	if ev.Cycle > p.lastStart {
-		p.lastStart = ev.Cycle
+	p.openCycle[ev.Epoch] = ev.Cycle
+	if ev.Cycle > p.lastStart[ev.Epoch] {
+		p.lastStart[ev.Epoch] = ev.Cycle
 	}
 }
 
 func (c *Checker) grantEnd(ev obs.Event) {
 	p := c.page(ev)
-	if p.ended[ev.Cycle] {
+	ck := cycleKey{ev.Epoch, ev.Cycle}
+	if p.ended[ck] {
 		c.report(InvExactlyOnce, ev, "cycle %d committed twice", ev.Cycle)
 		return
 	}
-	if p.openCycle != ev.Cycle {
+	if p.openCycle[ev.Epoch] != ev.Cycle {
 		c.report(InvWriteSerial, ev,
-			"cycle %d committed but open cycle is %d", ev.Cycle, p.openCycle)
+			"cycle %d committed but open cycle is %d", ev.Cycle, p.openCycle[ev.Epoch])
 	}
-	p.ended[ev.Cycle] = true
-	if p.openCycle == ev.Cycle {
-		p.openCycle = 0
+	p.ended[ck] = true
+	if p.openCycle[ev.Epoch] == ev.Cycle {
+		p.openCycle[ev.Epoch] = 0
 	}
 }
 

@@ -133,6 +133,11 @@ type Options struct {
 	// the engine byte-identical to the paper reproduction, which
 	// assumes the Locus virtual-circuit guarantees.
 	Reliability *Reliability
+	// Failover, when non-nil, enables library-site takeover (DESIGN.md
+	// §11): a site that finds the library unreachable nominates a
+	// successor, which rebuilds the record from surviving holders under
+	// a bumped library epoch. Requires Reliability.
+	Failover *Failover
 	// TuneDelta, if non-nil, may return a new Δ for a page each time
 	// the library is about to grant it. Mirage ships the routine
 	// disabled (nil), as the paper does.
@@ -171,6 +176,11 @@ type Stats struct {
 	Degraded    int // accessor-visible degraded-grant errors raised
 	Stale       int // out-of-cycle or inconsistent messages tolerated
 	Lost        int // pages zero-filled after unrecoverable copy loss
+
+	// Failover counters; all zero unless Options.Failover is set.
+	Failovers  int // takeover triggers sent after losing the library
+	Recoveries int // library takeovers completed at this site
+	StaleEpoch int // messages rejected for carrying a superseded epoch
 }
 
 type pageKey struct {
@@ -194,6 +204,17 @@ type segNode struct {
 	outW    map[int32]bool     // write request outstanding
 
 	lib *libSeg // non-nil at the library site
+
+	// curLib is the site currently playing the library role: meta.Library
+	// until a failover elects a successor. segEpoch is the library epoch —
+	// bumped by each takeover and stamped on every outgoing message, so
+	// traffic from superseded epochs can be fenced. recov is non-nil while
+	// this site is rebuilding the record as the successor, and lateHold
+	// accumulates chunked holdings reports arriving after recovery.
+	curLib   int
+	segEpoch uint32
+	recov    *recovery
+	lateHold map[int][]holding
 
 	// releasing is set between the last local detach and the library's
 	// confirmation of every page release; local accesses fault
@@ -257,6 +278,11 @@ func (e *Engine) emit(ev obs.Event) {
 	}
 	ev.T = e.env.Now()
 	ev.Site = int32(e.site)
+	if e.opt.Failover != nil {
+		if sn, ok := e.segs[ev.Seg]; ok {
+			ev.Epoch = sn.segEpoch
+		}
+	}
 	e.obs.Emit(ev)
 }
 
@@ -342,6 +368,7 @@ func (e *Engine) register(meta *mem.Segment) *segNode {
 		waiters: make(map[int32][]waiter),
 		outR:    make(map[int32]bool),
 		outW:    make(map[int32]bool),
+		curLib:  meta.Library,
 	}
 	e.segs[int32(meta.ID)] = sn
 	return sn
@@ -451,7 +478,7 @@ func (e *Engine) Fault(seg int32, page int32, write bool, pid int32, wake func()
 	}
 	e.stats.RequestsSent++
 	cost := e.costs.Request
-	if sn.meta.Library == e.site {
+	if sn.curLib == e.site {
 		cost = e.costs.LocalFault
 	}
 	m := &wire.Msg{
@@ -462,7 +489,7 @@ func (e *Engine) Fault(seg int32, page int32, write bool, pid int32, wake func()
 		Req:  int32(e.site),
 		Pid:  pid,
 	}
-	lib := sn.meta.Library
+	lib := sn.curLib
 	e.armReqTimer(sn, seg, page)
 	e.env.Exec(cost, func() { e.transmit(lib, m) })
 }
@@ -528,12 +555,49 @@ func (e *Engine) handle(m *wire.Msg) {
 		From: m.From, To: int32(e.site), Cycle: m.Cycle})
 	sn, ok := e.segs[m.Seg]
 	if !ok {
+		if e.opt.Failover != nil && m.Kind == wire.KRecover && int(m.From) != e.site {
+			// This site never attached the segment: it can neither
+			// report holdings nor serve as a successor. Refuse
+			// explicitly (Page -2, trigger fields echoed) so the sender
+			// moves on instead of waiting out a timeout.
+			e.send(int(m.From), &wire.Msg{
+				Kind: wire.KRecoverReply, Seg: m.Seg, Page: -2,
+				Req: m.Req, Readers: m.Readers, SegEpoch: m.SegEpoch,
+			})
+			return
+		}
 		e.stats.Dropped++
 		return
+	}
+	if m.Kind == wire.KRecover {
+		e.handleRecover(sn, m)
+		return
+	}
+	if m.Kind == wire.KRecoverReply {
+		e.handleRecoverReply(sn, m)
+		return
+	}
+	if e.opt.Failover != nil && int(m.From) != e.site {
+		// Library-epoch fencing: traffic of a superseded epoch is dead
+		// with its library; traffic from a newer one means a takeover
+		// this site has not heard of yet.
+		if m.SegEpoch < sn.segEpoch {
+			e.staleEpoch(sn, m)
+			return
+		}
+		if m.SegEpoch > sn.segEpoch {
+			e.adoptAhead(sn, m)
+		}
 	}
 	switch m.Kind {
 	case wire.KReadReq, wire.KWriteReq, wire.KReleaseRead, wire.KReleaseWrite,
 		wire.KInstalled, wire.KBusy:
+		if sn.recov != nil {
+			// Mid-takeover: the record is still being rebuilt. Serve the
+			// request once recovery finishes.
+			sn.recov.buffered = append(sn.recov.buffered, m)
+			return
+		}
 		e.handleLibrary(sn, m)
 	case wire.KAddReader:
 		e.handleAddReader(sn, m)
@@ -580,6 +644,14 @@ func (e *Engine) transmit(to int, m *wire.Msg) {
 	}
 	e.emit(obs.Event{Type: obs.EvMsgSend, Kind: m.Kind, Seg: m.Seg, Page: m.Page,
 		From: int32(e.site), To: int32(to), Cycle: m.Cycle})
+	if e.opt.Failover != nil {
+		// Stamp the sender's library epoch. Retransmissions keep the
+		// stamp of their first send: a message conceived under a dead
+		// epoch must not masquerade as current.
+		if sn, ok := e.segs[m.Seg]; ok {
+			m.SegEpoch = sn.segEpoch
+		}
+	}
 	if e.rel == nil || to == e.site {
 		e.env.Send(to, m)
 		return

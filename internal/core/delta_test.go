@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSetDeltaRejectsNegative pins the Δ-validation bugfix: a negative
+// window is a caller bug, rejected with ErrNegativeDelta and without
+// touching the stored value, at both library setter entry points.
+func TestSetDeltaRejectsNegative(t *testing.T) {
+	n := newTestNet(t, 2, Options{})
+	n.newSeg(2, 10*time.Millisecond)
+
+	if err := n.engines[0].SetPageDelta(1, 0, -time.Millisecond); !errors.Is(err, ErrNegativeDelta) {
+		t.Fatalf("SetPageDelta(-1ms) = %v, want ErrNegativeDelta", err)
+	}
+	if err := n.engines[0].SetSegmentDelta(1, -time.Second); !errors.Is(err, ErrNegativeDelta) {
+		t.Fatalf("SetSegmentDelta(-1s) = %v, want ErrNegativeDelta", err)
+	}
+	for p := int32(0); p < 2; p++ {
+		if d := n.engines[0].LibraryState(1, p).Delta; d != 10*time.Millisecond {
+			t.Fatalf("page %d Δ = %v after rejected sets, want the original 10ms", p, d)
+		}
+	}
+
+	// The valid paths still work and return nil.
+	if err := n.engines[0].SetPageDelta(1, 1, 70*time.Millisecond); err != nil {
+		t.Fatalf("SetPageDelta(70ms) = %v", err)
+	}
+	if err := n.engines[0].SetSegmentDelta(1, 20*time.Millisecond); err != nil {
+		t.Fatalf("SetSegmentDelta(20ms) = %v", err)
+	}
+	if d := n.engines[0].LibraryState(1, 0).Delta; d != 20*time.Millisecond {
+		t.Fatalf("page 0 Δ = %v, want 20ms", d)
+	}
+}
+
+// TestTuneDeltaNegativeIgnored pins the tuner-validation bugfix: a
+// tuner returning a negative Δ is ignored (the previous window stands)
+// instead of being granted verbatim.
+func TestTuneDeltaNegativeIgnored(t *testing.T) {
+	calls := 0
+	n := newTestNet(t, 2, Options{
+		TuneDelta: func(ti TuneInfo) time.Duration {
+			calls++
+			return -5 * time.Millisecond
+		},
+	})
+	n.newSeg(1, 15*time.Millisecond)
+	n.acquire(1, 1, 0, true)
+	n.settle()
+	if calls == 0 {
+		t.Fatal("tuner never consulted")
+	}
+	if w := n.engines[1].Seg(1).Aux(0).Window; w != 15*time.Millisecond {
+		t.Fatalf("granted window = %v, want the untuned 15ms (negative tuner return leaked)", w)
+	}
+	if d := n.engines[0].LibraryState(1, 0).Delta; d != 15*time.Millisecond {
+		t.Fatalf("library Δ = %v, want 15ms", d)
+	}
+}
+
+// TestDegradedErrorClearedByInstall is the degraded-sticky regression:
+// a page that was failed back (degraded grant) and later installed by a
+// successful grant must not keep serving the cached error — the next
+// access after the peer heals retries cleanly.
+func TestDegradedErrorClearedByInstall(t *testing.T) {
+	n := newTestNet(t, 2, Options{Reliability: &Reliability{}})
+	n.newSeg(1, 0)
+	sn := n.engines[1].segs[1]
+	// A past unreachable-peer verdict is still cached when a grant cycle
+	// finally installs the page.
+	sn.pageErr = map[int32]error{0: ErrUnreachable}
+	n.acquire(1, 1, 0, false)
+	n.settle()
+	if err := n.engines[1].FaultError(1, 0); err != nil {
+		t.Fatalf("FaultError after a successful install = %v, want nil (stale degraded verdict)", err)
+	}
+}

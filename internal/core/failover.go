@@ -1,0 +1,549 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"mirage/internal/mmu"
+	"mirage/internal/obs"
+	"mirage/internal/wire"
+)
+
+// Library-site failover (DESIGN.md §11).
+//
+// The paper fixes a segment's library site for life (§6.0) and leans on
+// Locus for availability; here, when the reliability layer declares the
+// library unreachable, the detecting site nominates a successor — the
+// next site after the dead library in ID order — and sends it a
+// KRecover trigger. The successor bumps the segment's *library epoch*,
+// rebuilds the authoritative record by querying every surviving site
+// for its page holdings, and resumes granting. Every protocol message
+// carries the sender's idea of the epoch (wire.Msg.SegEpoch): messages
+// from superseded epochs are rejected, which both fences in-flight
+// traffic of the dead epoch and tells a deposed library that comes back
+// that it has been replaced.
+//
+// Pages with no surviving copy are deliberately NOT zero-filled: the
+// only good data is wherever the dead library left it, so the record
+// keeps naming the dead site as writer. Grants aimed there fail fast
+// (ErrUnreachable) while it is down and work again the moment it
+// rejoins the new epoch; a site that rejoins and reports holdings the
+// record cannot account for is reconciled by lateReport.
+
+// Failover enables library-site takeover. It requires
+// Options.Reliability: the takeover trigger is the reliable channel's
+// give-up verdict on a request to the library.
+type Failover struct {
+	// Sites is the cluster size; successor election walks the site ID
+	// space, so every engine must agree on it.
+	Sites int
+	// RecoverTimeout bounds the successor's wait for holder reports;
+	// sites that have not replied by then are treated as crashed and
+	// their copies as lost. Default 2s.
+	RecoverTimeout time.Duration
+}
+
+func (f *Failover) recoverTimeout() time.Duration {
+	if f.RecoverTimeout == 0 {
+		return 2 * time.Second
+	}
+	return f.RecoverTimeout
+}
+
+// recovery is the successor's transient takeover state for one segment.
+type recovery struct {
+	from    int           // the dead library being replaced
+	started time.Duration // for the recovery-latency histogram
+	waiting map[int]bool  // sites whose holdings report is still due
+	got     map[int32]*recovPage
+	// Library-bound messages (new-epoch requests from sites that
+	// already adopted) buffered until the record is rebuilt.
+	buffered []*wire.Msg
+	cancel   func() // RecoverTimeout timer
+}
+
+// recovPage accumulates one page's reported holders.
+type recovPage struct {
+	readers mmu.SiteMask
+	writer  int
+	clock   int // first reporter claiming the clock role, -1 if none
+}
+
+// Holdings-report record layout: 5 bytes per held page — the page
+// number and a state byte — packed into KRecoverReply.Data.
+const (
+	recRead  = 1 << 0 // site holds a read copy
+	recWrite = 1 << 1 // site holds the writable copy
+	recClock = 1 << 2 // site believes it has the clock role
+)
+
+// holdingsPerChunk keeps each KRecoverReply under wire.MaxData.
+const holdingsPerChunk = 8192
+
+// failoverEnabled reports whether takeover is configured. The trigger
+// lives in the reliability layer, so Failover without Reliability is
+// inert by construction; NewCluster rejects the combination up front.
+func (e *Engine) failoverEnabled() bool {
+	return e.opt.Failover != nil && e.rel != nil
+}
+
+// triggerFailover nominates a successor for the segment's unreachable
+// library and sends it a KRecover trigger. tried accumulates candidates
+// already attempted (the trigger itself may be undeliverable); it
+// returns false when no candidate remains and the caller should fall
+// back to the degraded-grant path.
+func (e *Engine) triggerFailover(sn *segNode, seg int32, tried mmu.SiteMask) bool {
+	fo := e.opt.Failover
+	dead := sn.curLib
+	cand := -1
+	for i := 1; i < fo.Sites; i++ {
+		c := (dead + i) % fo.Sites
+		if c == dead || tried.Has(c) {
+			continue
+		}
+		cand = c
+		break
+	}
+	if cand < 0 {
+		return false
+	}
+	e.stats.Failovers++
+	e.obs.Count(e.site, obs.CFailover)
+	e.emit(obs.Event{Type: obs.EvFailover, Seg: seg,
+		From: int32(dead), To: int32(cand)})
+	e.send(cand, &wire.Msg{
+		Kind: wire.KRecover, Seg: seg, Page: -1,
+		Req: int32(cand), Readers: uint64(tried.Add(cand)),
+	})
+	return true
+}
+
+// handleRecover dispatches the three uses of KRecover: a takeover
+// trigger (Req names this site, same epoch), a holdings query from a
+// recovering successor (higher epoch, From == Req), and a stale-epoch
+// notice (higher epoch, Req names the library that sender knows).
+func (e *Engine) handleRecover(sn *segNode, m *wire.Msg) {
+	if e.opt.Failover == nil {
+		e.stats.Dropped++
+		return
+	}
+	switch {
+	case m.SegEpoch > sn.segEpoch:
+		e.adoptEpoch(sn, m.SegEpoch, int(m.Req))
+		e.sendHoldings(sn)
+	case m.SegEpoch == sn.segEpoch && int(m.Req) == e.site:
+		e.beginRecovery(sn)
+	case m.SegEpoch == sn.segEpoch:
+		// A query that raced another new-epoch message which already
+		// moved us forward: (re-)report. Reports merge idempotently.
+		if int(m.From) == sn.curLib {
+			e.sendHoldings(sn)
+		}
+	default:
+		e.markStale() // trigger or notice from a superseded epoch
+	}
+}
+
+// beginRecovery starts the takeover at the nominated successor: bump
+// the epoch, claim the library role, and query every surviving site
+// for its holdings. Granting resumes in finishRecovery.
+func (e *Engine) beginRecovery(sn *segNode) {
+	if sn.lib != nil || sn.recov != nil || sn.curLib == e.site {
+		return // already the library, or a takeover is running
+	}
+	fo := e.opt.Failover
+	dead := sn.curLib
+	seg := int32(sn.meta.ID)
+	sn.segEpoch++
+	sn.curLib = e.site
+	rc := &recovery{
+		from:    dead,
+		started: e.env.Now(),
+		waiting: make(map[int]bool),
+		got:     make(map[int32]*recovPage),
+	}
+	sn.recov = rc
+	// Requests aimed at the dead library are dead with it; blocked
+	// faults re-issue against this site once the record is rebuilt.
+	e.forgetRequests(sn)
+	e.mergeHoldings(rc, e.site, e.localHoldings(sn))
+	for s := 0; s < fo.Sites; s++ {
+		if s == e.site || s == dead {
+			continue
+		}
+		rc.waiting[s] = true
+		e.send(s, &wire.Msg{Kind: wire.KRecover, Seg: seg, Page: -1, Req: int32(e.site)})
+	}
+	if len(rc.waiting) == 0 {
+		e.finishRecovery(sn)
+		return
+	}
+	rc.cancel = e.env.After(fo.recoverTimeout(), func() {
+		if cur, ok := e.segs[seg]; !ok || cur != sn || sn.recov != rc {
+			return
+		}
+		e.finishRecovery(sn)
+	})
+}
+
+// recovPeerDone marks one queried site's report complete (or the site
+// itself unreachable) and finishes recovery when none remain.
+func (e *Engine) recovPeerDone(sn *segNode, s int) {
+	rc := sn.recov
+	if rc == nil || !rc.waiting[s] {
+		return
+	}
+	delete(rc.waiting, s)
+	if len(rc.waiting) == 0 {
+		e.finishRecovery(sn)
+	}
+}
+
+// finishRecovery rebuilds the library record from the collected
+// reports, installs it, and resumes granting.
+func (e *Engine) finishRecovery(sn *segNode) {
+	rc := sn.recov
+	if rc == nil {
+		return
+	}
+	if rc.cancel != nil {
+		rc.cancel()
+	}
+	sn.recov = nil
+	seg := int32(sn.meta.ID)
+	lib := newLibSeg(sn.meta)
+	for pg := range lib.pages {
+		p := &lib.pages[pg]
+		rp := rc.got[int32(pg)]
+		switch {
+		case rp == nil:
+			// No surviving copy: the only data is wherever the dead
+			// library left it. Keep naming it writer — grants aimed
+			// there fail fast while it is down and work again when it
+			// rejoins. Zero-filling would discard the only good copy.
+			p.writer = rc.from
+			p.clock = rc.from
+		case rp.writer != mmu.NoWriter:
+			p.writer = rp.writer
+			p.clock = rp.writer
+			p.readers = 0
+			// Read copies alongside a writer are leftovers of a write
+			// cycle the crash interrupted mid-collection; order them
+			// discarded to restore Table 1's exclusivity.
+			rp.readers.Remove(rp.writer).ForEach(func(s int) {
+				e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: seg, Page: int32(pg)})
+			})
+		default:
+			p.writer = mmu.NoWriter
+			p.readers = rp.readers
+			clock := rp.clock
+			if clock < 0 || !rp.readers.Has(clock) {
+				if rp.readers.Has(e.site) {
+					clock = e.site
+				} else {
+					clock = rp.readers.Sites()[0]
+				}
+			}
+			p.clock = clock
+			// Refresh the clock's reader mask to the rebuilt set.
+			e.send(clock, &wire.Msg{
+				Kind: wire.KClockHandoff, Seg: seg, Page: int32(pg),
+				Readers: uint64(rp.readers),
+			})
+		}
+	}
+	sn.lib = lib
+	e.stats.Recoveries++
+	e.obs.Count(e.site, obs.CRecovery)
+	e.obs.Observe(obs.HRecoverLatency, int64(e.env.Now()-rc.started))
+	e.emit(obs.Event{Type: obs.EvRecover, Seg: seg, Arg: int64(rc.from)})
+	for _, m := range rc.buffered {
+		e.handleLibrary(sn, m)
+	}
+	rc.buffered = nil
+	for page := range sn.waiters {
+		e.wakeWaiters(sn, page)
+	}
+}
+
+// handleRecoverReply merges one site's holdings report. During recovery
+// it feeds the record rebuild; at an established library it is a late
+// report from a site that just rejoined the epoch (see lateReport).
+func (e *Engine) handleRecoverReply(sn *segNode, m *wire.Msg) {
+	if e.opt.Failover == nil || m.SegEpoch != sn.segEpoch {
+		e.markStale()
+		return
+	}
+	if m.Page == -2 {
+		// Refusal: the peer never attached the segment (see handle's
+		// unknown-segment branch). As a queried holder it has nothing to
+		// report; as a nominated successor it bounces the takeover to
+		// the next candidate in the tried mask.
+		switch {
+		case sn.recov != nil && int(m.Req) == e.site:
+			e.recovPeerDone(sn, int(m.From))
+		case sn.recov == nil && sn.lib == nil && int(m.Req) == int(m.From):
+			e.triggerFailover(sn, m.Seg, mmu.SiteMask(m.Readers))
+		}
+		return
+	}
+	hs := e.decodeHoldings(sn, m.Data)
+	switch {
+	case sn.recov != nil:
+		e.mergeHoldings(sn.recov, int(m.From), hs)
+		if m.Upgrade { // final chunk
+			e.recovPeerDone(sn, int(m.From))
+		}
+	case sn.lib != nil:
+		// A late report can span chunks; the reclaim sweep must only
+		// run against the complete set.
+		if sn.lateHold == nil {
+			sn.lateHold = make(map[int][]holding)
+		}
+		from := int(m.From)
+		sn.lateHold[from] = append(sn.lateHold[from], hs...)
+		if m.Upgrade {
+			all := sn.lateHold[from]
+			delete(sn.lateHold, from)
+			e.lateReport(sn, from, all)
+		}
+	default:
+		e.markStale()
+	}
+}
+
+// adoptEpoch moves this site into a newer library epoch: the previous
+// epoch's in-flight state is dead with its library, so outstanding
+// requests, clock-side collections, and (if this site WAS the library)
+// the library role itself are all dropped. Local page copies stay put —
+// they are reported to the new library like any holder's.
+func (e *Engine) adoptEpoch(sn *segNode, epoch uint32, newLib int) {
+	if epoch <= sn.segEpoch {
+		return
+	}
+	sn.segEpoch = epoch
+	sn.curLib = newLib
+	seg := int32(sn.meta.ID)
+	if sn.lib != nil {
+		// Deposed: a successor recovered while this site was presumed
+		// dead. The successor's record is authoritative now.
+		sn.lib = nil
+	}
+	if sn.recov != nil {
+		// Our own takeover lost the race to a higher epoch.
+		if sn.recov.cancel != nil {
+			sn.recov.cancel()
+		}
+		sn.recov = nil
+	}
+	for k, pi := range e.pend {
+		if k.seg == seg {
+			delete(e.pend, k)
+			e.rollbackPend(sn, k.page, pi)
+		}
+	}
+	for k := range e.stash {
+		if k.seg == seg {
+			delete(e.stash, k)
+		}
+	}
+	e.forgetRequests(sn)
+	for page := range sn.waiters {
+		e.wakeWaiters(sn, page)
+	}
+}
+
+// forgetRequests clears every outstanding request and its deadline for
+// the segment, and any degraded-grant verdicts of the old epoch: the
+// woken faults re-request against the current library, which may well
+// be able to serve pages the dead one could not.
+func (e *Engine) forgetRequests(sn *segNode) {
+	for page := range sn.outR {
+		delete(sn.outR, page)
+	}
+	for page := range sn.outW {
+		delete(sn.outW, page)
+	}
+	for page, cancel := range sn.reqTimer {
+		cancel()
+		delete(sn.reqTimer, page)
+	}
+	sn.pageErr = nil
+}
+
+// rollbackPend reinstates the copy a clock site invalidated for a write
+// cycle that died with its library epoch. Unlike invalOrderFailed there
+// is no library to notify: the new one rebuilds from reports.
+func (e *Engine) rollbackPend(sn *segNode, page int32, pi *pendingInval) {
+	p := int(page)
+	if sn.m.Present(p) || pi.data == nil {
+		return
+	}
+	sn.m.Install(p, pi.data, mmu.ReadOnly, e.env.Now())
+	e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(sn.meta.ID), Page: page, Arg: 1})
+	a := sn.m.Aux(p)
+	a.Writer = mmu.NoWriter
+	a.Window = 0
+	a.ReaderMask = pi.origMask
+}
+
+// staleEpoch rejects a message from a superseded epoch and tells the
+// sender which epoch is current — a deposed library that comes back
+// learns of its replacement from exactly this notice.
+func (e *Engine) staleEpoch(sn *segNode, m *wire.Msg) {
+	e.stats.StaleEpoch++
+	e.obs.Count(e.site, obs.CStaleEpoch)
+	e.send(int(m.From), &wire.Msg{
+		Kind: wire.KRecover, Seg: m.Seg, Page: -1, Req: int32(sn.curLib),
+	})
+}
+
+// adoptAhead handles a non-KRecover message stamped with an epoch this
+// site has not adopted yet (the query is in flight on another circuit).
+// Library-origin kinds identify the new library directly; for the rest
+// the epoch number advances now and the identity follows with the query.
+func (e *Engine) adoptAhead(sn *segNode, m *wire.Msg) {
+	newLib := sn.curLib
+	switch m.Kind {
+	case wire.KInval, wire.KAddReader, wire.KAlready, wire.KDenied,
+		wire.KClockHandoff, wire.KReleaseDone:
+		newLib = int(m.From)
+	}
+	e.adoptEpoch(sn, m.SegEpoch, newLib)
+}
+
+// holding is one decoded holdings-report record.
+type holding struct {
+	page  int32
+	state byte
+}
+
+// localHoldings reports this site's present pages for the segment.
+func (e *Engine) localHoldings(sn *segNode) []holding {
+	var hs []holding
+	for p := 0; p < sn.m.Pages(); p++ {
+		if !sn.m.Present(p) {
+			continue
+		}
+		var st byte
+		if sn.m.Prot(p) == mmu.ReadWrite {
+			st = recWrite | recClock
+		} else {
+			st = recRead
+			if sn.m.Aux(p).ReaderMask != 0 {
+				st |= recClock
+			}
+		}
+		hs = append(hs, holding{page: int32(p), state: st})
+	}
+	return hs
+}
+
+// sendHoldings ships this site's holdings to the current library in
+// MaxData-sized chunks; Upgrade marks the final chunk.
+func (e *Engine) sendHoldings(sn *segNode) {
+	seg := int32(sn.meta.ID)
+	hs := e.localHoldings(sn)
+	for start := 0; ; start += holdingsPerChunk {
+		end := start + holdingsPerChunk
+		last := end >= len(hs)
+		if last {
+			end = len(hs)
+		}
+		data := make([]byte, 0, (end-start)*5)
+		for _, h := range hs[start:end] {
+			var b [5]byte
+			binary.BigEndian.PutUint32(b[:4], uint32(h.page))
+			b[4] = h.state
+			data = append(data, b[:]...)
+		}
+		e.send(sn.curLib, &wire.Msg{
+			Kind: wire.KRecoverReply, Seg: seg, Page: -1, Upgrade: last, Data: data,
+		})
+		if last {
+			return
+		}
+	}
+}
+
+// decodeHoldings parses a report chunk, discarding malformed or
+// out-of-range records rather than trusting the wire.
+func (e *Engine) decodeHoldings(sn *segNode, data []byte) []holding {
+	var hs []holding
+	for len(data) >= 5 {
+		page := int32(binary.BigEndian.Uint32(data[:4]))
+		st := data[4]
+		data = data[5:]
+		if page < 0 || int(page) >= sn.m.Pages() || st&(recRead|recWrite) == 0 {
+			continue
+		}
+		hs = append(hs, holding{page: page, state: st})
+	}
+	return hs
+}
+
+// mergeHoldings folds one site's report into the rebuild state.
+func (e *Engine) mergeHoldings(rc *recovery, site int, hs []holding) {
+	for _, h := range hs {
+		rp := rc.got[h.page]
+		if rp == nil {
+			rp = &recovPage{writer: mmu.NoWriter, clock: -1}
+			rc.got[h.page] = rp
+		}
+		if h.state&recWrite != 0 {
+			rp.writer = site
+		} else {
+			rp.readers = rp.readers.Add(site)
+		}
+		if h.state&recClock != 0 && rp.clock < 0 {
+			rp.clock = site
+		}
+	}
+}
+
+// lateReport reconciles a holdings report arriving outside recovery: a
+// site (typically the deposed library) rejoined the epoch. Copies the
+// record already accounts for stand; copies it cannot account for
+// predate the failover and are ordered discarded; pages the record
+// attributes to the reporter that it no longer holds are unrecoverable
+// and get reclaimed (zero-filled) so they stop wedging every grant.
+func (e *Engine) lateReport(sn *segNode, from int, hs []holding) {
+	lib := sn.lib
+	seg := int32(sn.meta.ID)
+	for _, h := range hs {
+		p := &lib.pages[h.page]
+		if p.busy {
+			continue // never disturb a live grant cycle
+		}
+		switch {
+		case p.writer == from:
+			if h.state&recWrite == 0 {
+				// The record presumed a writable copy (orphan policy)
+				// but the survivor only ever read the page: demote the
+				// entry so grant cycles use the right invalidation mode.
+				p.writer = mmu.NoWriter
+				p.readers = mmu.MaskOf(from)
+				p.clock = from
+				e.send(from, &wire.Msg{
+					Kind: wire.KClockHandoff, Seg: seg, Page: h.page,
+					Readers: uint64(p.readers),
+				})
+			}
+		case p.readers.Has(from):
+			// Consistent read copy; nothing to do.
+		default:
+			e.send(from, &wire.Msg{Kind: wire.KInvalOrder, Seg: seg, Page: h.page})
+		}
+	}
+	reported := make(map[int32]bool, len(hs))
+	for _, h := range hs {
+		reported[h.page] = true
+	}
+	for pg := range lib.pages {
+		p := &lib.pages[pg]
+		if p.writer == from && !reported[int32(pg)] && !p.busy {
+			e.libReclaim(sn, int32(pg), nil)
+			e.libProcess(sn, int32(pg))
+		}
+	}
+}

@@ -58,7 +58,7 @@ func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 		// library's record is behind. Fail the whole batch back.
 		e.markStale()
 		mmu.SiteMask(m.Readers).ForEach(func(s int) {
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Read, Seg: m.Seg, Page: m.Page,
 				Req: int32(s), Cycle: m.Cycle,
 			})
@@ -95,7 +95,7 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 		}
 		// Clock copy gone: the cycle cannot be honored here.
 		e.markStale()
-		e.send(int(sn.meta.Library), &wire.Msg{
+		e.send(sn.curLib, &wire.Msg{
 			Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 			Req: m.Req, Upgrade: m.Upgrade, Cycle: m.Cycle,
 		})
@@ -115,14 +115,14 @@ func (e *Engine) handleInval(sn *segNode, m *wire.Msg) {
 		switch e.opt.Policy {
 		case PolicyRetry:
 			e.stats.BusyReplies++
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem, Cycle: m.Cycle,
 			})
 			return
 		case PolicyHonorClose:
 			if rem > e.opt.HonorThreshold {
 				e.stats.BusyReplies++
-				e.send(int(sn.meta.Library), &wire.Msg{
+				e.send(sn.curLib, &wire.Msg{
 					Kind: wire.KBusy, Seg: m.Seg, Page: m.Page, Remaining: rem, Cycle: m.Cycle,
 				})
 				return
@@ -157,7 +157,7 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 				panic(fmt.Sprintf("core: site %d: downgrade of non-writable page: %v", e.site, m))
 			}
 			e.markStale()
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 				Req: -1, Cycle: m.Cycle,
 			})
@@ -232,10 +232,11 @@ func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
 			e.obs.Count(e.site, obs.CUpgrade)
 			e.emit(obs.Event{Type: obs.EvUpgrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 			e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 2})
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 				Cycle: m.Cycle,
 			})
+			delete(sn.pageErr, m.Page) // in-place grant supersedes old verdicts
 			e.wakeWaiters(sn, m.Page)
 			sn.outW[m.Page] = false
 			sn.outR[m.Page] = false
@@ -333,7 +334,7 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 	} else {
 		a.Writer = mmu.NoWriter
 	}
-	e.send(int(sn.meta.Library), &wire.Msg{
+	e.send(sn.curLib, &wire.Msg{
 		Kind: wire.KInstalled, Mode: m.Mode, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 	})
 	if m.Mode == wire.Write {
@@ -342,6 +343,10 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 	} else {
 		sn.outR[m.Page] = false
 	}
+	// A fresh copy supersedes any degraded-grant verdict still cached
+	// for the page: without this, an access after the peer heals would
+	// fail with the stale error instead of using the installed copy.
+	delete(sn.pageErr, m.Page)
 	e.reqProgress(sn, m.Page)
 	e.wakeWaiters(sn, m.Page)
 }
@@ -358,7 +363,7 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 			// Raced duplicate: we are already the writer; complete the
 			// cycle anyway.
 			e.markStale()
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 			})
 			return
@@ -384,11 +389,12 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 	e.obs.Count(e.site, obs.CUpgrade)
 	e.emit(obs.Event{Type: obs.EvUpgrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 2})
-	e.send(int(sn.meta.Library), &wire.Msg{
+	e.send(sn.curLib, &wire.Msg{
 		Kind: wire.KInstalled, Mode: wire.Write, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 	})
 	sn.outW[m.Page] = false
 	sn.outR[m.Page] = false
+	delete(sn.pageErr, m.Page) // the upgraded copy supersedes old verdicts
 	e.reqProgress(sn, m.Page)
 	e.wakeWaiters(sn, m.Page)
 }
@@ -402,6 +408,12 @@ func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
 	} else {
 		sn.outR[m.Page] = false
 	}
+	if sn.m.Present(int(m.Page)) {
+		// The record says we hold the page and we do: any cached
+		// degraded verdict is from an older failure and must not poison
+		// the access that triggered this round trip.
+		delete(sn.pageErr, m.Page)
+	}
 	e.reqProgress(sn, m.Page)
 	if e.rel != nil && m.Mode == wire.Read && !sn.m.Present(int(m.Page)) &&
 		len(sn.waiters[m.Page]) > 0 && !sn.releasing {
@@ -410,7 +422,7 @@ func (e *Engine) handleAlready(sn *segNode, m *wire.Msg) {
 		// the refault's fresh request, queued behind this correction on
 		// the same circuit, then earns a real grant.
 		e.markStale()
-		e.send(int(sn.meta.Library), &wire.Msg{Kind: wire.KReleaseRead, Seg: m.Seg, Page: m.Page})
+		e.send(sn.curLib, &wire.Msg{Kind: wire.KReleaseRead, Seg: m.Seg, Page: m.Page})
 	}
 	e.wakeWaiters(sn, m.Page)
 }

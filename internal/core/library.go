@@ -108,18 +108,32 @@ func (e *Engine) LibraryState(seg, page int32) LibraryPageState {
 	}
 }
 
+// ErrNegativeDelta rejects a negative Δ: the window is a duration, and
+// a negative one would corrupt every expiry comparison downstream
+// (WindowRemaining, the checker's window invariant, the tuner's EWMA).
+var ErrNegativeDelta = fmt.Errorf("core: negative Δ")
+
 // SetPageDelta changes one page's Δ at the library (§8.0: "per-page
-// Δs may be useful"). It takes effect on the next grant.
-func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) {
+// Δs may be useful"). It takes effect on the next grant. Negative
+// values are rejected with ErrNegativeDelta, leaving Δ unchanged.
+func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) error {
+	if delta < 0 {
+		return fmt.Errorf("%w: %v for seg %d page %d", ErrNegativeDelta, delta, seg, page)
+	}
 	sn := e.segs[seg]
 	if sn == nil || sn.lib == nil {
 		panic(fmt.Sprintf("core: SetPageDelta at non-library site %d", e.site))
 	}
 	sn.lib.pages[page].delta = delta
+	return nil
 }
 
-// SetSegmentDelta changes Δ for every page of the segment.
-func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) {
+// SetSegmentDelta changes Δ for every page of the segment. Negative
+// values are rejected with ErrNegativeDelta, leaving Δ unchanged.
+func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) error {
+	if delta < 0 {
+		return fmt.Errorf("%w: %v for seg %d", ErrNegativeDelta, delta, seg)
+	}
 	sn := e.segs[seg]
 	if sn == nil || sn.lib == nil {
 		panic(fmt.Sprintf("core: SetSegmentDelta at non-library site %d", e.site))
@@ -128,11 +142,19 @@ func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) {
 		sn.lib.pages[i].delta = delta
 	}
 	sn.meta.Delta = delta
+	return nil
 }
 
 // handleLibrary dispatches messages addressed to the library role.
 func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 	if sn.lib == nil {
+		if e.opt.Failover != nil {
+			// A requester addressed us as library before our takeover
+			// (or after our deposition) — epoch races make this
+			// reachable; its retry finds the right site.
+			e.markStale()
+			return
+		}
 		panic(fmt.Sprintf("core: site %d is not the library for: %v", e.site, m))
 	}
 	lib := sn.lib
@@ -289,7 +311,7 @@ func (e *Engine) libAlready(sn *segNode, page int32, site int, mode wire.Mode) {
 func (e *Engine) libTunedDelta(sn *segNode, page int32, write bool) time.Duration {
 	p := &sn.lib.pages[page]
 	if e.opt.TuneDelta != nil {
-		p.delta = e.opt.TuneDelta(TuneInfo{
+		d := e.opt.TuneDelta(TuneInfo{
 			Seg:      int32(sn.meta.ID),
 			Page:     page,
 			Delta:    p.delta,
@@ -297,6 +319,11 @@ func (e *Engine) libTunedDelta(sn *segNode, page int32, write bool) time.Duratio
 			MeanGap:  p.gapEWMA,
 			Requests: p.requests,
 		})
+		// A negative return is a tuner bug; keep the previous Δ rather
+		// than grant a corrupt window.
+		if d >= 0 {
+			p.delta = d
+		}
 	}
 	return p.delta
 }

@@ -263,7 +263,14 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 	}
 	switch m.Kind {
 	case wire.KReadReq, wire.KWriteReq:
-		// The library is unreachable: fail the local access.
+		// The library is unreachable. With failover enabled, nominate a
+		// successor and leave the faults blocked — the request deadline
+		// stays armed as the backstop and the takeover's epoch adoption
+		// wakes them to re-request. Otherwise fail the access.
+		if e.failoverEnabled() && to == sn.curLib &&
+			e.triggerFailover(sn, m.Seg, 0) {
+			return
+		}
 		e.failPage(sn, m.Seg, m.Page, fmt.Errorf("%w: site %d (library) lost %v", ErrUnreachable, to, m.Kind))
 
 	case wire.KInval, wire.KAddReader:
@@ -285,7 +292,7 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 		if m.Mode == wire.Write {
 			fail.Data = m.Data
 		}
-		e.send(int(sn.meta.Library), fail)
+		e.send(sn.curLib, fail)
 
 	case wire.KUpgradeGrant:
 		// The in-place upgrade never reached the requester. The clock
@@ -296,10 +303,25 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 			Seg: m.Seg, Page: m.Page, Req: int32(to), Cycle: m.Cycle,
 			Data: e.stash[pageKey{m.Seg, m.Page}],
 		}
-		e.send(int(sn.meta.Library), fail)
+		e.send(sn.curLib, fail)
 
 	case wire.KInvalOrder:
 		e.invalOrderFailed(sn, m, to)
+
+	case wire.KRecover:
+		if sn.recov != nil && int(m.Req) == e.site {
+			// Our holdings query never got through: the queried site is
+			// crashed too; rebuild without its report.
+			e.recovPeerDone(sn, to)
+			return
+		}
+		// A takeover trigger that could not reach its candidate: walk
+		// on to the next one. Readers carries the candidates tried.
+		if e.failoverEnabled() && int(m.Req) == to &&
+			e.triggerFailover(sn, m.Seg, mmu.SiteMask(m.Readers)) {
+			return
+		}
+		e.stats.Dropped++
 
 	case wire.KReleaseRead, wire.KReleaseWrite:
 		// The library never heard the release; keep the copy and stop
@@ -343,7 +365,7 @@ func (e *Engine) invalOrderFailed(sn *segNode, m *wire.Msg, to int) {
 		if pi.data == nil {
 			// Nothing to roll back with; the library's copy-carrying
 			// abort path is the only option left.
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 				Req: pi.m.Req, Cycle: pi.m.Cycle,
 			})
@@ -366,7 +388,7 @@ func (e *Engine) invalOrderFailed(sn *segNode, m *wire.Msg, to int) {
 			Data: append([]byte(nil), data...),
 		})
 	})
-	e.send(int(sn.meta.Library), &wire.Msg{
+	e.send(sn.curLib, &wire.Msg{
 		Kind: wire.KGrantFail, Mode: wire.Write, Seg: m.Seg, Page: m.Page,
 		Req: pi.m.Req, Cycle: pi.m.Cycle,
 	})
@@ -402,7 +424,7 @@ func (e *Engine) failPage(sn *segNode, seg, page int32, err error) {
 			// library reassigns the clock role; otherwise every later
 			// write cycle is aimed at a copy that no longer exists and
 			// aborts forever.
-			e.send(int(sn.meta.Library), &wire.Msg{
+			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KReleaseRead, Seg: seg, Page: page, Data: data,
 			})
 		}
@@ -530,7 +552,7 @@ func (e *Engine) handleGrantFail(sn *segNode, m *wire.Msg) {
 	if sn.lib == nil {
 		fwd := *m
 		fwd.Data = e.stash[pageKey{m.Seg, m.Page}]
-		e.send(int(sn.meta.Library), &fwd)
+		e.send(sn.curLib, &fwd)
 		return
 	}
 	p := &sn.lib.pages[m.Page]

@@ -22,7 +22,7 @@ func (e *Engine) ReleaseSegment(seg int32) {
 	if !ok {
 		return
 	}
-	if sn.meta.Library == e.site {
+	if sn.curLib == e.site {
 		return
 	}
 	sn.releasing = true
@@ -37,7 +37,7 @@ func (e *Engine) ReleaseSegment(seg int32) {
 		}
 		// Read copies carry data too: if this site turns out to be the
 		// last holder, the library reinstalls from it.
-		e.send(int(sn.meta.Library), &wire.Msg{
+		e.send(sn.curLib, &wire.Msg{
 			Kind: kind, Seg: seg, Page: int32(p),
 			Data: append([]byte(nil), sn.m.Frame(p)...),
 		})

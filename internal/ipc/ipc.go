@@ -145,8 +145,17 @@ func NewCluster(n int, cfg Config) *Cluster {
 	if cfg.PageSize == 0 {
 		cfg.PageSize = vaxmodel.PageSize
 	}
+	if cfg.Delta < 0 {
+		cfg.Delta = 0 // a negative window is meaningless; clamp to "no window"
+	}
 	if cfg.MaxBytes == 0 {
 		cfg.MaxBytes = vaxmodel.MaxSegmentBytes
+	}
+	if fo := cfg.Engine.Failover; fo != nil && fo.Sites == 0 {
+		// Fill in the cluster size so callers can pass &core.Failover{}.
+		f := *fo
+		f.Sites = n
+		cfg.Engine.Failover = &f
 	}
 	c := &Cluster{
 		K:            sim.NewKernel(),

@@ -38,6 +38,11 @@ func FuzzReadJSONL(f *testing.F) {
 	f.Add([]byte(`{"schema":"other"}` + "\n"))
 	f.Add([]byte(`not json`))
 	f.Add([]byte(""))
+	// Degenerate recordings that must produce a clean error, never an
+	// "ok" verdict: header-only, and a record truncated mid-JSON.
+	f.Add([]byte(`{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n"))
+	f.Add([]byte(`{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n" +
+		`{"t":5,"site":1,"ev":"read","se`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hdr, events, err := ReadJSONL(bytes.NewReader(data))
 		if err != nil {

@@ -75,6 +75,10 @@ func appendEvent(b []byte, ev Event) []byte {
 		b = append(b, `,"cycle":`...)
 		b = strconv.AppendUint(b, uint64(ev.Cycle), 10)
 	}
+	if ev.Epoch != 0 {
+		b = append(b, `,"epoch":`...)
+		b = strconv.AppendUint(b, uint64(ev.Epoch), 10)
+	}
 	b = append(b, `,"arg":`...)
 	b = strconv.AppendInt(b, ev.Arg, 10)
 	b = append(b, '}', '\n')
@@ -112,6 +116,7 @@ type jsonEvent struct {
 	From  int32  `json:"from"`
 	To    int32  `json:"to"`
 	Cycle uint32 `json:"cycle"`
+	Epoch uint32 `json:"epoch"`
 	Arg   int64  `json:"arg"`
 }
 
@@ -161,6 +166,7 @@ func ReadJSONL(r io.Reader) (Header, []Event, error) {
 			From:  je.From,
 			To:    je.To,
 			Cycle: je.Cycle,
+			Epoch: je.Epoch,
 			Arg:   je.Arg,
 		}
 		if je.Kind != "" {
@@ -174,6 +180,12 @@ func ReadJSONL(r io.Reader) (Header, []Event, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return hdr, nil, err
+	}
+	if len(events) == 0 {
+		// A header with no events is a truncated or aborted recording,
+		// not a verifiable trace: callers like `miragetrace check` must
+		// not report a run coherent on the strength of zero evidence.
+		return hdr, nil, fmt.Errorf("obs: trace has no events (truncated or empty recording)")
 	}
 	return hdr, events, nil
 }

@@ -40,6 +40,10 @@ const (
 	CDegraded
 	CStale
 	CLost
+	// Library failover.
+	CFailover
+	CRecovery
+	CStaleEpoch
 	// Chaos (fault-injection) verdicts.
 	CChaosDrop
 	CChaosDup
@@ -79,6 +83,9 @@ var counterNames = [...]string{
 	CDegraded:       "degraded",
 	CStale:          "stale",
 	CLost:           "lost",
+	CFailover:       "failovers",
+	CRecovery:       "recoveries",
+	CStaleEpoch:     "stale_epoch",
 	CChaosDrop:      "chaos_drops",
 	CChaosDup:       "chaos_dups",
 	CChaosDelay:     "chaos_delays",
@@ -131,6 +138,9 @@ const (
 	HFlushFrames
 	// HFlushBytes: bytes per transport write-batch flush.
 	HFlushBytes
+	// HRecoverLatency: library-failover duration (ns), from the
+	// successor starting recovery to it resuming grants.
+	HRecoverLatency
 
 	histCount
 )
@@ -140,6 +150,7 @@ var histNames = [...]string{
 	HFaultLatency:    "fault_latency_ns",
 	HFlushFrames:     "flush_frames_per_batch",
 	HFlushBytes:      "flush_bytes_per_batch",
+	HRecoverLatency:  "recover_latency_ns",
 }
 
 func (h HistID) String() string {
@@ -160,6 +171,7 @@ var histLow = [histCount]int64{
 	HFaultLatency:    int64(time.Millisecond),
 	HFlushFrames:     1,
 	HFlushBytes:      1,
+	HRecoverLatency:  int64(time.Millisecond),
 }
 
 // Hist is a fixed-bucket, lock-free histogram. Buckets double from the

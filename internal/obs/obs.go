@@ -87,6 +87,15 @@ const (
 	// EvWrite is a completed application-level write of a page range;
 	// fields as EvRead, with Arg digesting the bytes as written.
 	EvWrite
+	// EvFailover is a site detecting a dead library and triggering
+	// failover (From: the unreachable library site, To: the successor
+	// site the trigger was sent to).
+	EvFailover
+	// EvRecover is a successor completing library takeover for a
+	// segment: its Epoch field is the new library epoch, Arg the site id
+	// of the failed library it replaces. Emitted once per recovery at
+	// the new library site.
+	EvRecover
 
 	evTypeCount
 )
@@ -116,6 +125,8 @@ var evNames = [...]string{
 	EvChaos:      "chaos",
 	EvRead:       "read",
 	EvWrite:      "write",
+	EvFailover:   "failover",
+	EvRecover:    "recover",
 }
 
 func (t EvType) String() string {
@@ -154,6 +165,7 @@ type Event struct {
 	From  int32
 	To    int32
 	Cycle uint32
+	Epoch uint32 // segment's library epoch at emission; 0 before any failover
 	Arg   int64
 }
 

@@ -80,6 +80,8 @@ func TestReadJSONLRejectsBadInput(t *testing.T) {
 		"not a trace": `{"schema":"other","version":1}` + "\n",
 		"future":      `{"schema":"mirage-trace","version":99,"clock":"virtual","sites":2}` + "\n",
 		"bad event":   `{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n" + `{"t":0,"site":0,"ev":"bogus","seg":0,"page":0,"arg":0}` + "\n",
+		"header only": `{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n",
+		"truncated":   `{"schema":"mirage-trace","version":1,"clock":"virtual","sites":2}` + "\n" + `{"t":0,"site":0,"ev":"fault","se`,
 	}
 	for name, in := range cases {
 		if _, _, err := ReadJSONL(strings.NewReader(in)); err == nil {

@@ -92,6 +92,17 @@ const (
 	// contents collected for the new writer so they are rehomed at the
 	// library rather than lost.
 	KGrantFail
+	// KRecover drives library failover. Sent to the successor site
+	// (Req == receiver) it triggers a takeover of the segment's library
+	// role; sent by a recovering successor (Req == sender, with the
+	// bumped SegEpoch) it asks a surviving site to adopt the new epoch
+	// and report its page holdings.
+	KRecover
+	// KRecoverReply carries one site's page holdings to the recovering
+	// library (surviving site -> new library). Data is a sequence of
+	// 5-byte records (page number + state byte); Upgrade marks the
+	// final chunk of the report.
+	KRecoverReply
 
 	kindCount
 )
@@ -116,6 +127,8 @@ var kindNames = [...]string{
 	KAck:          "ack",
 	KDenied:       "denied",
 	KGrantFail:    "grant-fail",
+	KRecover:      "recover",
+	KRecoverReply: "recover-reply",
 }
 
 // ParseKind resolves a kind's String() name back to its value; the
@@ -179,6 +192,7 @@ type Msg struct {
 	Seq       uint64 // per-(sender,receiver) sequence number; 0 = unsequenced
 	Epoch     uint32 // reliable-channel incarnation; bumped when a sender gives up
 	Cycle     uint32 // library grant-cycle tag correlating grants with KInstalled
+	SegEpoch  uint32 // segment's library epoch; bumped by each failover (0 = original library)
 
 	// Data carries page contents for KPageSend / KReleaseWrite /
 	// KGrantFail. Ownership contract: Encode and AppendFrame copy Data
@@ -235,7 +249,7 @@ func (m *Msg) String() string {
 	return s
 }
 
-const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 // 67 bytes
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 // 71 bytes
 
 // Errors returned by Decode.
 var (
@@ -278,7 +292,8 @@ func Encode(buf []byte, m *Msg) []byte {
 	binary.BigEndian.PutUint64(h[47:], m.Seq)
 	binary.BigEndian.PutUint32(h[55:], m.Epoch)
 	binary.BigEndian.PutUint32(h[59:], m.Cycle)
-	binary.BigEndian.PutUint32(h[63:], uint32(len(m.Data)))
+	binary.BigEndian.PutUint32(h[63:], m.SegEpoch)
+	binary.BigEndian.PutUint32(h[67:], uint32(len(m.Data)))
 	buf = append(buf, h[:]...)
 	return append(buf, m.Data...)
 }
@@ -351,12 +366,13 @@ func Decode(buf []byte) (Msg, int, error) {
 	m.Seq = binary.BigEndian.Uint64(buf[47:])
 	m.Epoch = binary.BigEndian.Uint32(buf[55:])
 	m.Cycle = binary.BigEndian.Uint32(buf[59:])
+	m.SegEpoch = binary.BigEndian.Uint32(buf[63:])
 	// Compare as uint32 before converting: the conversion can only
 	// produce a legal length, so no signedness branch is needed.
-	if binary.BigEndian.Uint32(buf[63:]) > MaxData {
+	if binary.BigEndian.Uint32(buf[67:]) > MaxData {
 		return Msg{}, 0, ErrBadLen
 	}
-	n := int(binary.BigEndian.Uint32(buf[63:]))
+	n := int(binary.BigEndian.Uint32(buf[67:]))
 	if len(buf) < headerLen+n {
 		return Msg{}, 0, ErrShort
 	}

@@ -22,6 +22,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Readers:   0b1011,
 		Delta:     33 * time.Millisecond,
 		Remaining: 5 * time.Millisecond,
+		SegEpoch:  7,
 	}
 	buf := Encode(nil, &m)
 	got, n, err := Decode(buf)
@@ -246,6 +247,7 @@ func randMsg(rng *rand.Rand) Msg {
 		Readers:   rng.Uint64(),
 		Delta:     time.Duration(rng.Int63n(1 << 40)),
 		Remaining: time.Duration(rng.Int63n(1 << 40)),
+		SegEpoch:  rng.Uint32(),
 	}
 	if rng.Intn(2) == 0 {
 		m.Data = make([]byte, rng.Intn(2048))

@@ -81,6 +81,17 @@ const (
 // field defaults.
 type Reliability = core.Reliability
 
+// Failover configures library-site failover: when a segment's library
+// site stays unreachable past the reliability layer's retry budget, a
+// deterministic successor (the next live site by number) reconstructs
+// the library's page records by querying the surviving holders, bumps
+// the segment's library epoch — carried on every subsequent protocol
+// message and trace event, fencing the deposed library's stragglers —
+// and resumes granting. Requires Options.Reliability. The zero value is
+// usable: NewCluster fills in the cluster size, and RecoverTimeout (the
+// bound on waiting for holder reports) defaults per core.Failover.
+type Failover = core.Failover
+
 // FaultPlan is a deterministic, seeded fault-injection plan applied to
 // the cluster's transport fabric (drops, duplicates, delays, reorders,
 // partitions, crash windows). Build one with ParseFaultPlan or
@@ -130,6 +141,9 @@ var (
 	// the access stayed unreachable past the reliability layer's retry
 	// budget. The access had no effect; retry once the fault heals.
 	ErrUnreachable = core.ErrUnreachable
+	// ErrNegativeDelta reports a rejected attempt to set a negative Δ
+	// window (Site.SetSegmentDelta).
+	ErrNegativeDelta = core.ErrNegativeDelta
 )
 
 // Re-exported registry errors, so callers can errors.Is against the
@@ -149,8 +163,8 @@ type Options struct {
 	PageSize int
 	// Delta is the default time window granted with each page. Zero
 	// means pages may be invalidated as soon as a competing request is
-	// processed. Per-page windows can be changed later with
-	// Site.SetSegmentDelta.
+	// processed; negative is rejected by NewCluster. Per-page windows
+	// can be changed later with Site.SetSegmentDelta.
 	Delta time.Duration
 	// MaxSegmentBytes bounds segment size; default 16 MiB.
 	MaxSegmentBytes int
@@ -170,6 +184,11 @@ type Options struct {
 	// Reliability, when non-nil, enables the ARQ layer. nil keeps the
 	// paper-faithful engine, which assumes a lossless ordered fabric.
 	Reliability *Reliability
+	// Failover, when non-nil, enables library-site failover on top of
+	// the ARQ layer: segments survive a library-site crash by electing
+	// a successor that rebuilds the page records from surviving
+	// holders. Requires Reliability. &Failover{} takes the defaults.
+	Failover *Failover
 	// Chaos, when non-nil, injects faults into the transport fabric per
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.
