@@ -28,6 +28,14 @@
 // latency per crash and end-to-end throughput versus crash count.
 // Every point's multi-epoch trace is re-verified by the coherence
 // checker; -trace saves the deepest point's trace for miragetrace.
+//
+// E19 runs the service-saturation ladder: the sharded session store
+// (internal/app) under deterministic open-loop load (internal/load) on
+// a rising rate ladder, on the calibrated simulator — clean and under
+// a chaos plan — and again over a real loopback-TCP cluster through
+// the public store API. All ladders are scored identically (knee rung,
+// first SLO-violating rung, liveness below the knee); -out records the
+// knee and the p99 at the last sustained rung per ladder.
 package main
 
 import (
@@ -43,8 +51,10 @@ import (
 	"testing"
 	"time"
 
+	"mirage"
 	"mirage/internal/check"
 	"mirage/internal/exp"
+	"mirage/internal/load"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/transport"
@@ -63,11 +73,69 @@ type benchRecord struct {
 	Experiments []experimentWall  `json:"experiments"`
 	TotalWallS  float64           `json:"total_wall_seconds"`
 	Micro       map[string]string `json:"microbench,omitempty"`
+	Service     *serviceRecord    `json:"service,omitempty"`
 }
 
 type experimentWall struct {
 	ID    string  `json:"id"`
 	WallS float64 `json:"wall_seconds"`
+}
+
+// serviceRecord is the E19 section of the -out record: per ladder, the
+// saturation knee and the tail latency at the last sustained rung
+// (half the knee's offered rate on the default doubling ladder).
+type serviceRecord struct {
+	ReplayMatches bool                  `json:"replay_matches"`
+	Ladders       []serviceLadderRecord `json:"ladders"`
+}
+
+type serviceLadderRecord struct {
+	Transport     string      `json:"transport"`
+	Chaos         bool        `json:"chaos"`
+	KneeRung      int         `json:"knee_rung"` // -1 = no rung saturated
+	KneeRate      float64     `json:"knee_rate_rps,omitempty"`
+	P99AtHalfKnee int64       `json:"p99_at_half_knee_ns,omitempty"`
+	Rungs         []load.Rung `json:"rungs"`
+}
+
+func serviceRecordOf(r exp.ServiceSweepResult) *serviceRecord {
+	rec := &serviceRecord{ReplayMatches: r.ReplayMatches}
+	for _, l := range r.Ladders {
+		lr := serviceLadderRecord{Transport: l.Transport, Chaos: l.Chaos, KneeRung: l.Knee, Rungs: l.Rungs}
+		if l.Knee >= 0 {
+			lr.KneeRate = l.Rungs[l.Knee].Rate
+		}
+		if l.Knee >= 1 {
+			lr.P99AtHalfKnee = l.Rungs[l.Knee-1].Latency.P99
+		}
+		rec.Ladders = append(rec.Ladders, lr)
+	}
+	return rec
+}
+
+// liveServiceLadder runs the E19 ladder over a real loopback-TCP
+// cluster through the public store API, one shared store served by
+// every site, same op streams and scoring as the simulated ladders.
+func liveServiceLadder(cfg exp.ServiceConfig) ([]load.Rung, error) {
+	cfg = cfg.WithDefaults()
+	c, err := mirage.NewCluster(cfg.Sites, mirage.Options{TCP: true})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	stores, err := c.OpenStores(cfg.AppConfig())
+	if err != nil {
+		return nil, err
+	}
+	rungs := make([]load.Rung, 0, len(cfg.Rates))
+	for _, rate := range cfg.Rates {
+		spec := cfg.Spec(rate)
+		rungs = append(rungs, load.RunLive(spec, func(frontend int, op load.Op) (bool, error) {
+			// Lane f maps to site f / Workers, as in the simulator.
+			return load.Execute(stores[frontend/cfg.Workers], spec, op)
+		}))
+	}
+	return rungs, nil
 }
 
 // microbench measures the live data path: the wire codec hot paths and
@@ -140,7 +208,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e18) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e19) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
@@ -502,6 +570,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace (%d crashes): %s\n", deepest.Crashes, *tracePath)
 		}
 		fmt.Fprintln(stdout, "paper: §10.0 \"the current implementation does not tolerate site failures\" — E18 adds the tolerance and prices it")
+	})
+
+	run("e19", "beyond the paper: service saturation ladder (E19)", func() {
+		cfg := exp.ServiceConfig{Chaos: true}
+		if *quick {
+			cfg.Rates = []float64{25, 400}
+			cfg.Duration = 2 * time.Second
+		}
+		cfg = cfg.WithDefaults()
+		r := exp.ServiceSweep(cfg)
+
+		// The live ladder serves the same op streams wall clock, so its
+		// rung windows are kept short; scoring is identical.
+		liveCfg := cfg
+		liveCfg.Duration = time.Second
+		if *quick {
+			liveCfg.Duration = 500 * time.Millisecond
+		}
+		if rungs, err := liveServiceLadder(liveCfg); err != nil {
+			fmt.Fprintf(stderr, "miragebench: live e19 ladder: %v\n", err)
+			code = 1
+		} else {
+			r.Ladders = append(r.Ladders, exp.ScoreLadder("live-tcp", false, liveCfg, rungs))
+		}
+
+		for _, l := range r.Ladders {
+			name := l.Transport
+			if l.Chaos {
+				name += "+chaos"
+			}
+			fmt.Fprintf(stdout, "[%s]\n", name)
+			load.WriteTable(stdout, l.Rungs)
+			fmt.Fprintln(stdout)
+		}
+		r.WriteFindings(stdout)
+		if !r.ReplayMatches {
+			code = 1
+		}
+		for _, l := range r.Ladders {
+			if !l.LivenessBelowKnee {
+				fmt.Fprintf(stdout, "liveness violated below the knee on %s\n", l.Transport)
+				code = 1
+			}
+		}
+		rec.Service = serviceRecordOf(r)
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

@@ -80,6 +80,41 @@ func TestE18FailoverSweepCommand(t *testing.T) {
 	}
 }
 
+func TestE19ServiceLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock live ladder plus -out microbench")
+	}
+	out := filepath.Join(t.TempDir(), "e19.json")
+	code, stdout, stderr := runBench(t, "-e", "e19", "-quick", "-out", out)
+	if code != 0 {
+		t.Fatalf("E19 failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"== E19 —", "[sim]", "[sim+chaos]", "[live-tcp]",
+		"knee: rung 1", "liveness below knee: HOLDS", "replay determinism: HOLDS"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if rec.Service == nil || len(rec.Service.Ladders) != 3 {
+		t.Fatalf("record service section = %+v", rec.Service)
+	}
+	sim := rec.Service.Ladders[0]
+	if sim.KneeRung != 1 || sim.P99AtHalfKnee <= 0 {
+		t.Errorf("sim ladder knee = %+v", sim)
+	}
+	if !rec.Service.ReplayMatches {
+		t.Error("replay determinism violated")
+	}
+}
+
 func TestOutRecord(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbench loopback TCP is slow")

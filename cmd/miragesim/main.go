@@ -7,6 +7,9 @@
 //	pingpong — the §7.2 worst-case application (two sites)
 //	counters — the §8.0 representative application (two sites)
 //	readers  — one writer at the library plus N-1 polling readers
+//	service  — the sharded session store under open-loop load (E19);
+//	           -rate and -skew set the offered load, and the per-shard
+//	           store counters join the stats tables and -runs digest
 //
 // Examples:
 //
@@ -18,6 +21,7 @@
 //	miragesim -workload counters -delta 600ms -runs 8
 //	miragesim -workload counters -delta 600ms -check
 //	miragesim -workload readers -sites 3 -chaos "crash site=0 from=2s" -failover -check
+//	miragesim -workload service -sites 4 -rate 100 -skew zipf -dur 5s -metrics
 //
 // -trace writes the run's protocol event timeline in the schema-v1
 // JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
@@ -55,11 +59,13 @@ import (
 	"sync"
 	"time"
 
+	"mirage/internal/app"
 	"mirage/internal/chaos"
 	"mirage/internal/check"
 	"mirage/internal/core"
 	"mirage/internal/exp"
 	"mirage/internal/ipc"
+	"mirage/internal/load"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/trace"
@@ -77,10 +83,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fs := flag.NewFlagSet("miragesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	workload := fs.String("workload", "pingpong", "pingpong | counters | readers")
+	workload := fs.String("workload", "pingpong", "pingpong | counters | readers | service")
 	delta := fs.Duration("delta", 0, "time window Δ")
 	dur := fs.Duration("dur", 10*time.Second, "virtual run length")
-	sites := fs.Int("sites", 2, "number of sites (readers workload)")
+	sites := fs.Int("sites", 2, "number of sites (readers and service workloads)")
+	rate := fs.Float64("rate", 50, "offered load in req/s (service workload)")
+	skew := fs.String("skew", "zipf", "key popularity: uniform | zipf | hotspot (service workload)")
 	yield := fs.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
 	policy := fs.String("policy", "retry", "invalidation policy: retry | honor-close | queue")
 	tracePath := fs.String("trace", "", "write the protocol event trace (schema-v1 JSONL) to this file")
@@ -119,12 +127,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	n := 2
+	var svcSkew load.Skew
 	switch *workload {
 	case "pingpong", "counters":
 	case "readers":
 		n = *sites
 		if n < 2 {
 			return fail("readers needs at least 2 sites")
+		}
+	case "service":
+		n = *sites
+		if n < 1 {
+			return fail("service needs at least 1 site")
+		}
+		var err error
+		svcSkew, err = load.ParseSkew(*skew)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if *rate <= 0 {
+			return fail("-rate must be positive")
 		}
 	default:
 		return fail("unknown workload %q", *workload)
@@ -147,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// sink), so N of them can execute concurrently and must agree bit
 	// for bit.
 	wantTrace := *tracePath != "" || *checkRun
-	runOnce := func() (string, *ipc.Cluster, *obs.Obs) {
+	runOnce := func() (string, *ipc.Cluster, *obs.Obs, *app.Stats) {
 		opts := core.Options{Policy: pol}
 		if recorder != nil {
 			opts.Tracer = recorder
@@ -177,6 +199,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
 		var headline string
+		var svc *app.Stats
 		switch *workload {
 		case "pingpong":
 			cycles := exp.RunPingPongForDebug(c, 0, 1, *yield, *dur)
@@ -186,20 +209,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			headline = fmt.Sprintf("%.0f read-write insn/s", insn)
 		case "readers":
 			headline = runReaders(c, *dur)
+		case "service":
+			cfg := exp.ServiceConfig{Sites: n, Duration: *dur, Skew: svcSkew}.WithDefaults()
+			svc = app.NewStats(cfg.Shards)
+			g := exp.RunService(c, cfg, *rate, svc, o)
+			headline = fmt.Sprintf("%.1f req/s goodput at %.0f offered; shed %d, p50 %v, p99 %v, liveness=%v",
+				g.Goodput, *rate, g.Shed, time.Duration(g.Latency.P50), time.Duration(g.Latency.P99), g.LivenessOK)
 		}
-		return headline, c, o
+		return headline, c, o, svc
 	}
 
 	var headline string
 	var c *ipc.Cluster
 	var o *obs.Obs
+	var svc *app.Stats
 	if *runs == 1 {
-		headline, c, o = runOnce()
+		headline, c, o, svc = runOnce()
 	} else {
 		headlines := make([]string, *runs)
 		digests := make([]string, *runs)
 		clusters := make([]*ipc.Cluster, *runs)
 		sinks := make([]*obs.Obs, *runs)
+		svcs := make([]*app.Stats, *runs)
 		start := time.Now()
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -209,11 +240,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				h, cl, oo := runOnce()
+				h, cl, oo, st := runOnce()
 				headlines[i] = h
-				digests[i] = h + " | " + digest(cl) + traceDigest(cl, oo)
+				digests[i] = h + " | " + digest(cl) + svcDigest(st) + traceDigest(cl, oo)
 				clusters[i] = cl
 				sinks[i] = oo
+				svcs[i] = st
 			}(i)
 		}
 		wg.Wait()
@@ -233,6 +265,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// The runs are interchangeable; show run 0's detailed stats.
 		c = clusters[0]
 		o = sinks[0]
+		svc = svcs[0]
 	}
 
 	fmt.Fprintf(stdout, "workload=%s sites=%d Δ=%v dur=%v policy=%s\n", *workload, n, *delta, *dur, *policy)
@@ -253,6 +286,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ns := c.Net.Stats()
 	fmt.Fprintf(stdout, "\nnetwork: %d msgs (%d large, %d short), %d bytes, %d loopback\n",
 		ns.Delivered, ns.LargeMsgs, ns.ShortMsgs, ns.Bytes, ns.Loopback)
+
+	if svc != nil {
+		fmt.Fprintln(stdout, "\nstore (per shard):")
+		if _, err := svc.WriteTo(stdout); err != nil {
+			return fail("%v", err)
+		}
+	}
 
 	if c.Chaos != nil {
 		executed := c.Chaos.Plan()
@@ -342,6 +382,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// svcDigest folds the service workload's per-shard store counters into
+// the -runs determinism comparison; other workloads contribute nothing.
+func svcDigest(st *app.Stats) string {
+	if st == nil {
+		return ""
+	}
+	return " app{" + st.Digest() + "}"
 }
 
 // traceDigest folds a run's serialized protocol trace into the -runs

@@ -94,6 +94,36 @@ func TestFailoverCheckedRun(t *testing.T) {
 	}
 }
 
+func TestServiceRun(t *testing.T) {
+	// -runs 2 puts the rung headline plus the per-shard store digest
+	// through the determinism comparison; -metrics shows the app
+	// counters reached the registry.
+	code, stdout, stderr := runSim(t,
+		"-workload", "service", "-sites", "4", "-rate", "25", "-dur", "2s",
+		"-runs", "2", "-metrics")
+	if code != 0 {
+		t.Fatalf("code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"identical results: true", "workload=service",
+		"goodput", "liveness=true", "store (per shard):", "app_ops"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestServiceBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "service", "-skew", "nope"},
+		{"-workload", "service", "-rate", "-3"},
+		{"-workload", "service", "-sites", "0"},
+	} {
+		if code, _, stderr := runSim(t, args...); code != 2 {
+			t.Errorf("args %v: code %d (stderr %q), want 2", args, code, stderr)
+		}
+	}
+}
+
 func TestParallelRunsIdentical(t *testing.T) {
 	code, stdout, stderr := runSim(t, "-workload", "counters", "-delta", "600ms", "-dur", "1s", "-runs", "3", "-check")
 	if code != 0 {

@@ -1,0 +1,363 @@
+package app
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mirage/internal/obs"
+)
+
+// memSeg is an in-memory Segment for layout and logic tests: the same
+// atomicity the DSM provides (whole-call serialization), delivered by
+// a mutex.
+type memSeg struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func newMemSeg(n int) *memSeg { return &memSeg{b: make([]byte, n)} }
+
+func (m *memSeg) ReadAt(b []byte, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+len(b) > len(m.b) {
+		return fmt.Errorf("memSeg: out of bounds [%d,%d) of %d", off, off+len(b), len(m.b))
+	}
+	copy(b, m.b[off:])
+	return nil
+}
+
+func (m *memSeg) WriteAt(b []byte, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+len(b) > len(m.b) {
+		return fmt.Errorf("memSeg: out of bounds [%d,%d) of %d", off, off+len(b), len(m.b))
+	}
+	copy(m.b[off:], b)
+	return nil
+}
+
+func (m *memSeg) TestAndSet(off int) (byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.b[off]
+	m.b[off] = 1
+	return old, nil
+}
+
+func (m *memSeg) Clear(off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.b[off] = 0
+	return nil
+}
+
+func newTestStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	cfg = cfg.WithDefaults()
+	segs := make([]Segment, cfg.Shards)
+	for i := range segs {
+		seg := newMemSeg(cfg.ShardBytes())
+		if err := Format(seg, cfg, i); err != nil {
+			t.Fatalf("format shard %d: %v", i, err)
+		}
+		if err := CheckShard(seg, cfg, i); err != nil {
+			t.Fatalf("check shard %d: %v", i, err)
+		}
+		segs[i] = seg
+	}
+	st, err := New(cfg, segs, Options{Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{SlotSize: 100}).Validate(); err == nil {
+		t.Fatal("SlotSize 100 does not divide 512; want error")
+	}
+	if err := (Config{SlotSize: 4}).Validate(); err == nil {
+		t.Fatal("SlotSize below record header; want error")
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c := Config{}.WithDefaults()
+	if c.ShardBytes()%c.PageSize != 0 {
+		t.Fatalf("ShardBytes %d not page-aligned", c.ShardBytes())
+	}
+}
+
+func TestCheckShardRejects(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	seg := newMemSeg(cfg.ShardBytes())
+	if err := CheckShard(seg, cfg, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unformatted shard: got %v, want ErrCorrupt", err)
+	}
+	if err := Format(seg, cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckShard(seg, cfg, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong shard index: got %v, want ErrCorrupt", err)
+	}
+	if err := CheckShard(seg, cfg, 3); err != nil {
+		t.Fatalf("matching shard: %v", err)
+	}
+	other := cfg
+	other.SlotsPerShard = cfg.SlotsPerShard * 2
+	if err := CheckShard(seg, other, 3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("geometry mismatch: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCRUD(t *testing.T) {
+	st := newTestStore(t, Config{})
+	key := []byte("session-1")
+	if _, err := st.Get(key); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("get absent: %v", err)
+	}
+	if err := st.Put(key, []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Get(key)
+	if err != nil || string(v) != "alice" {
+		t.Fatalf("get: %q, %v", v, err)
+	}
+	if seq, _ := st.Seq(key); seq != 1 {
+		t.Fatalf("seq after insert: %d", seq)
+	}
+	// Update in place bumps the sequence.
+	if err := st.Put(key, []byte("bob")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = st.Get(key)
+	if string(v) != "bob" {
+		t.Fatalf("get after update: %q", v)
+	}
+	if seq, _ := st.Seq(key); seq != 2 {
+		t.Fatalf("seq after update: %d", seq)
+	}
+	if err := st.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(key); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := st.Delete(key); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	st := newTestStore(t, Config{})
+	key := []byte("k")
+	// Compare-and-create.
+	ok, err := st.CAS(key, nil, []byte("v1"))
+	if err != nil || !ok {
+		t.Fatalf("cas create: %v %v", ok, err)
+	}
+	// Create again fails as a conflict.
+	ok, err = st.CAS(key, nil, []byte("v2"))
+	if err != nil || ok {
+		t.Fatalf("cas re-create: %v %v", ok, err)
+	}
+	// Wrong expectation.
+	ok, err = st.CAS(key, []byte("nope"), []byte("v2"))
+	if err != nil || ok {
+		t.Fatalf("cas wrong old: %v %v", ok, err)
+	}
+	// Right expectation.
+	ok, err = st.CAS(key, []byte("v1"), []byte("v2"))
+	if err != nil || !ok {
+		t.Fatalf("cas: %v %v", ok, err)
+	}
+	v, _ := st.Get(key)
+	if string(v) != "v2" {
+		t.Fatalf("after cas: %q", v)
+	}
+	// CAS of an absent key with a non-nil expectation.
+	if _, err := st.CAS([]byte("absent"), []byte("x"), []byte("y")); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("cas absent: %v", err)
+	}
+	total := st.Stats().Total()
+	if total.Conflicts != 2 {
+		t.Fatalf("conflicts: %d, want 2", total.Conflicts)
+	}
+}
+
+func TestProbeCollisionsAndTombstoneReuse(t *testing.T) {
+	// A single tiny shard forces every key into the same probe chain.
+	cfg := Config{Shards: 1, SlotsPerShard: 8, SlotSize: 64}
+	st := newTestStore(t, cfg)
+	keys := make([][]byte, 6)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+		if err := st.Put(keys[i], []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i, k := range keys {
+		v, err := st.Get(k)
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("get %d: %v %v", i, v, err)
+		}
+	}
+	// Delete one, insert another: the tombstone is reused and the keys
+	// probing past it stay reachable.
+	if err := st.Delete(keys[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put([]byte("key-xx"), []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if i == 2 {
+			continue
+		}
+		v, err := st.Get(k)
+		if err != nil || v[0] != byte(i) {
+			t.Fatalf("get %d after churn: %v %v", i, v, err)
+		}
+	}
+	if v, err := st.Get([]byte("key-xx")); err != nil || v[0] != 0xAA {
+		t.Fatalf("get reused slot: %v %v", v, err)
+	}
+}
+
+func TestShardFull(t *testing.T) {
+	cfg := Config{Shards: 1, SlotsPerShard: 4, SlotSize: 64}
+	st := newTestStore(t, cfg)
+	var err error
+	for i := 0; i < 5; i++ {
+		err = st.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrShardFull) {
+		t.Fatalf("overfill: %v, want ErrShardFull", err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	st := newTestStore(t, Config{})
+	big := bytes.Repeat([]byte("x"), st.Config().SlotSize)
+	if err := st.Put([]byte("k"), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize value: %v", err)
+	}
+	if err := st.Put(nil, []byte("v")); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if st.Config().MaxValue(1) != st.Config().SlotSize-slotHdr-1 {
+		t.Fatalf("MaxValue: %d", st.Config().MaxValue(1))
+	}
+}
+
+func TestShardSpread(t *testing.T) {
+	cfg := Config{Shards: 8}.WithDefaults()
+	var seen [8]int
+	for i := 0; i < 1000; i++ {
+		seen[cfg.ShardOf([]byte(fmt.Sprintf("user-%d", i)))]++
+	}
+	for s, n := range seen {
+		if n == 0 {
+			t.Fatalf("shard %d never chosen over 1000 keys", s)
+		}
+	}
+	if cfg.LibraryFor(0) != 0 || (Config{Shards: 8, Sites: 3}).LibraryFor(5) != 2 {
+		t.Fatal("LibraryFor placement convention changed")
+	}
+}
+
+func TestLockContention(t *testing.T) {
+	// Hammer one shard from many goroutines: every put lands, the lock
+	// serializes, and conflicts are counted.
+	cfg := Config{Shards: 1, SlotsPerShard: 64, SlotSize: 64, LockBackoff: time.Microsecond}
+	st := newTestStore(t, cfg)
+	const g, n = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, g)
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("w%d", w))
+			for i := 0; i < n; i++ {
+				if err := st.Put(key, []byte{byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for w := 0; w < g; w++ {
+		v, err := st.Get([]byte(fmt.Sprintf("w%d", w)))
+		if err != nil || v[0] != n-1 {
+			t.Fatalf("w%d: %v %v", w, v, err)
+		}
+	}
+	if seq, _ := st.Seq([]byte("w0")); seq != n {
+		t.Fatalf("seq: %d, want %d", seq, n)
+	}
+}
+
+func TestShardBusyOnWedgedLock(t *testing.T) {
+	cfg := Config{Shards: 1, LockRetries: 3, LockBackoff: time.Microsecond}
+	st := newTestStore(t, cfg)
+	// Wedge the lock as a crashed holder would.
+	if _, err := st.segs[0].TestAndSet(hdrLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrShardBusy) {
+		t.Fatalf("wedged lock: %v, want ErrShardBusy", err)
+	}
+	// Gets stay lock-free and keep serving.
+	if _, err := st.Get([]byte("k")); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("get under wedged lock: %v", err)
+	}
+}
+
+func TestStatsAttribution(t *testing.T) {
+	cfg := Config{Shards: 4}
+	st := newTestStore(t, cfg)
+	key := []byte("hot")
+	shard := st.Config().ShardOf(key)
+	for i := 0; i < 10; i++ {
+		if err := st.Put(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Stats().Shard(shard)
+	if s.Puts != 10 || s.Gets != 10 || s.Hits != 19 || s.Misses != 1 {
+		t.Fatalf("shard counters: %+v", s)
+	}
+	for i := 0; i < st.Stats().Shards(); i++ {
+		if i != shard && st.Stats().Shard(i).Ops() != 0 {
+			t.Fatalf("traffic leaked to shard %d", i)
+		}
+	}
+	var out bytes.Buffer
+	if _, err := st.Stats().WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("total")) {
+		t.Fatalf("stats table missing totals: %s", out.String())
+	}
+	if st.Stats().Digest() == "" {
+		t.Fatal("empty digest")
+	}
+}

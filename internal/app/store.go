@@ -1,0 +1,387 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"mirage/internal/obs"
+)
+
+// Options binds a Store frontend to its execution mode.
+type Options struct {
+	// Site is this frontend's site id, for obs counter attribution.
+	Site int
+	// Obs, when non-nil, receives app_ops/app_hits/app_misses/
+	// app_conflicts counts and app_op_latency_ns samples.
+	Obs *obs.Obs
+	// Stats, when non-nil, is the shared per-shard counter table;
+	// frontends of the same site pass the same one. nil allocates a
+	// private table.
+	Stats *Stats
+	// Sleep blocks the calling context for d: time.Sleep in live mode,
+	// the simulated process's Sleep in the simulator. Default
+	// time.Sleep.
+	Sleep func(d time.Duration)
+	// Now is the run clock used for op latency: wall time in live
+	// mode (the default), virtual time in the simulator.
+	Now func() time.Duration
+}
+
+// Store is one site's frontend onto the sharded KV store. Any site can
+// serve any key — the DSM moves the pages. A Store built over
+// mirage.Segment handles is safe for concurrent use by multiple
+// goroutines; in the simulator each worker process opens its own Store
+// over its own attaches (sharing Stats), since simulated accesses
+// block the owning process.
+type Store struct {
+	cfg   Config
+	segs  []Segment
+	site  int
+	o     *obs.Obs
+	stats *Stats
+	sleep func(time.Duration)
+	now   func() time.Duration
+}
+
+// New builds a frontend over one attached segment handle per shard
+// (segs[i] is shard i, already formatted by its creating site). The
+// config must match the one the shards were formatted with; use
+// CheckShard to validate when opening segments you did not create.
+func New(cfg Config, segs []Segment, opt Options) (*Store, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(segs) != cfg.Shards {
+		return nil, fmt.Errorf("app: %d segments for %d shards", len(segs), cfg.Shards)
+	}
+	s := &Store{
+		cfg:   cfg,
+		segs:  segs,
+		site:  opt.Site,
+		o:     opt.Obs,
+		stats: opt.Stats,
+		sleep: opt.Sleep,
+		now:   opt.Now,
+	}
+	if s.stats == nil {
+		s.stats = NewStats(cfg.Shards)
+	}
+	if s.sleep == nil {
+		s.sleep = time.Sleep
+	}
+	if s.now == nil {
+		base := time.Now()
+		s.now = func() time.Duration { return time.Since(base) }
+	}
+	return s, nil
+}
+
+// Config returns the store's (defaulted) geometry.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns the frontend's per-shard counter table.
+func (s *Store) Stats() *Stats { return s.stats }
+
+// record is one parsed slot.
+type record struct {
+	state byte
+	klen  int
+	vlen  int
+	seq   uint32
+}
+
+func parseSlot(buf []byte) record {
+	return record{
+		state: buf[slotState],
+		klen:  int(buf[slotKLen]),
+		vlen:  int(getU16(buf[slotVLen:])),
+		seq:   getU32(buf[slotSeq:]),
+	}
+}
+
+// op wraps an operation with latency and op-count accounting.
+func (s *Store) op(shard int) func() {
+	start := s.now()
+	return func() {
+		s.o.Observe(obs.HAppOpLatency, int64(s.now()-start))
+		s.o.Count(s.site, obs.CAppOp)
+	}
+}
+
+// probe scans the key's probe window in its shard. It returns the
+// matching slot index and parsed record when the key is present
+// (found), and otherwise the first insertable slot (a tombstone or the
+// terminating empty slot; -1 when the window is full). buf must be
+// SlotSize bytes and holds the found slot's bytes on return.
+func (s *Store) probe(shard int, key []byte, buf []byte) (idx int, rec record, found bool, free int, err error) {
+	seg := s.segs[shard]
+	home := s.cfg.homeSlot(key)
+	free = -1
+	for p := 0; p < s.cfg.ProbeWindow; p++ {
+		i := (home + p) % s.cfg.SlotsPerShard
+		if err = seg.ReadAt(buf, s.cfg.slotOff(i)); err != nil {
+			return 0, rec, false, free, err
+		}
+		r := parseSlot(buf)
+		switch r.state {
+		case SlotEmpty:
+			if free == -1 {
+				free = i
+			}
+			return 0, rec, false, free, nil
+		case SlotTomb:
+			if free == -1 {
+				free = i
+			}
+		case SlotLive:
+			if r.klen == len(key) && bytes.Equal(buf[slotHdr:slotHdr+r.klen], key) {
+				return i, r, true, free, nil
+			}
+		default:
+			// A torn or foreign byte pattern: treat like a tombstone so
+			// one bad slot cannot wedge the probe chain.
+			if free == -1 {
+				free = i
+			}
+		}
+	}
+	return 0, rec, false, free, nil
+}
+
+// Get returns a copy of the key's value, or ErrNoKey. Gets take no
+// lock: a slot is rewritten atomically (it never spans a page), so a
+// concurrent reader sees the old or the new record, never a torn one.
+func (s *Store) Get(key []byte) ([]byte, error) {
+	shard, err := s.checkKey(key, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer s.op(shard)()
+	sc := &s.stats.shards[shard]
+	sc.gets.Add(1)
+	buf := make([]byte, s.cfg.SlotSize)
+	_, rec, found, _, err := s.probe(shard, key, buf)
+	if err != nil {
+		sc.errors.Add(1)
+		return nil, fmt.Errorf("app: get shard %d: %w", shard, err)
+	}
+	if !found {
+		sc.misses.Add(1)
+		s.o.Count(s.site, obs.CAppMiss)
+		return nil, ErrNoKey
+	}
+	sc.hits.Add(1)
+	s.o.Count(s.site, obs.CAppHit)
+	val := make([]byte, rec.vlen)
+	copy(val, buf[slotHdr+rec.klen:slotHdr+rec.klen+rec.vlen])
+	return val, nil
+}
+
+// Put stores the value under key, inserting or updating in place. The
+// record's sequence number advances by one on every rewrite.
+func (s *Store) Put(key, val []byte) error {
+	shard, err := s.checkKey(key, val)
+	if err != nil {
+		return err
+	}
+	defer s.op(shard)()
+	sc := &s.stats.shards[shard]
+	sc.puts.Add(1)
+	if err := s.lock(shard); err != nil {
+		sc.errors.Add(1)
+		return err
+	}
+	defer s.unlock(shard)
+	buf := make([]byte, s.cfg.SlotSize)
+	idx, rec, found, free, err := s.probe(shard, key, buf)
+	if err != nil {
+		sc.errors.Add(1)
+		return fmt.Errorf("app: put shard %d: %w", shard, err)
+	}
+	seq := uint32(1)
+	if found {
+		seq = rec.seq + 1
+		free = idx
+		sc.hits.Add(1)
+		s.o.Count(s.site, obs.CAppHit)
+	} else {
+		sc.misses.Add(1)
+		s.o.Count(s.site, obs.CAppMiss)
+		if free == -1 {
+			sc.errors.Add(1)
+			return fmt.Errorf("%w: shard %d", ErrShardFull, shard)
+		}
+	}
+	s.fillSlot(buf, key, val, seq)
+	if err := s.segs[shard].WriteAt(buf, s.cfg.slotOff(free)); err != nil {
+		sc.errors.Add(1)
+		return fmt.Errorf("app: put shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// Delete removes the key, leaving a tombstone; ErrNoKey when absent.
+func (s *Store) Delete(key []byte) error {
+	shard, err := s.checkKey(key, nil)
+	if err != nil {
+		return err
+	}
+	defer s.op(shard)()
+	sc := &s.stats.shards[shard]
+	sc.deletes.Add(1)
+	if err := s.lock(shard); err != nil {
+		sc.errors.Add(1)
+		return err
+	}
+	defer s.unlock(shard)
+	buf := make([]byte, s.cfg.SlotSize)
+	idx, _, found, _, err := s.probe(shard, key, buf)
+	if err != nil {
+		sc.errors.Add(1)
+		return fmt.Errorf("app: delete shard %d: %w", shard, err)
+	}
+	if !found {
+		sc.misses.Add(1)
+		s.o.Count(s.site, obs.CAppMiss)
+		return ErrNoKey
+	}
+	sc.hits.Add(1)
+	s.o.Count(s.site, obs.CAppHit)
+	if err := s.segs[shard].WriteAt([]byte{SlotTomb}, s.cfg.slotOff(idx)+slotState); err != nil {
+		sc.errors.Add(1)
+		return fmt.Errorf("app: delete shard %d: %w", shard, err)
+	}
+	return nil
+}
+
+// CAS conditionally replaces the key's value: when old is nil the key
+// must be absent (compare-and-create), otherwise the current value
+// must equal old. It reports whether the swap landed; a false return
+// with nil error is a value conflict (counted per shard).
+func (s *Store) CAS(key, old, val []byte) (swapped bool, err error) {
+	shard, err := s.checkKey(key, val)
+	if err != nil {
+		return false, err
+	}
+	defer s.op(shard)()
+	sc := &s.stats.shards[shard]
+	sc.cases.Add(1)
+	if err := s.lock(shard); err != nil {
+		sc.errors.Add(1)
+		return false, err
+	}
+	defer s.unlock(shard)
+	buf := make([]byte, s.cfg.SlotSize)
+	idx, rec, found, free, err := s.probe(shard, key, buf)
+	if err != nil {
+		sc.errors.Add(1)
+		return false, fmt.Errorf("app: cas shard %d: %w", shard, err)
+	}
+	seq := uint32(1)
+	switch {
+	case !found && old == nil:
+		// Compare-and-create.
+		sc.misses.Add(1)
+		s.o.Count(s.site, obs.CAppMiss)
+		if free == -1 {
+			sc.errors.Add(1)
+			return false, fmt.Errorf("%w: shard %d", ErrShardFull, shard)
+		}
+	case !found:
+		sc.misses.Add(1)
+		s.o.Count(s.site, obs.CAppMiss)
+		return false, ErrNoKey
+	default:
+		sc.hits.Add(1)
+		s.o.Count(s.site, obs.CAppHit)
+		cur := buf[slotHdr+rec.klen : slotHdr+rec.klen+rec.vlen]
+		if old == nil || !bytes.Equal(cur, old) {
+			sc.conflicts.Add(1)
+			s.o.Count(s.site, obs.CAppConflict)
+			return false, nil
+		}
+		seq = rec.seq + 1
+		free = idx
+	}
+	s.fillSlot(buf, key, val, seq)
+	if err := s.segs[shard].WriteAt(buf, s.cfg.slotOff(free)); err != nil {
+		sc.errors.Add(1)
+		return false, fmt.Errorf("app: cas shard %d: %w", shard, err)
+	}
+	return true, nil
+}
+
+// Seq returns the key's current record sequence number (0 when
+// absent) — the session-version read used by optimistic callers.
+func (s *Store) Seq(key []byte) (uint32, error) {
+	shard, err := s.checkKey(key, nil)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, s.cfg.SlotSize)
+	_, rec, found, _, err := s.probe(shard, key, buf)
+	if err != nil || !found {
+		return 0, err
+	}
+	return rec.seq, nil
+}
+
+// checkKey validates sizes and resolves the shard.
+func (s *Store) checkKey(key, val []byte) (int, error) {
+	if len(key) == 0 || len(key) > 255 || slotHdr+len(key)+len(val) > s.cfg.SlotSize {
+		return 0, fmt.Errorf("%w: key %d val %d bytes into %d-byte slots",
+			ErrTooLarge, len(key), len(val), s.cfg.SlotSize)
+	}
+	return s.cfg.ShardOf(key), nil
+}
+
+// fillSlot serializes a live record into buf (len SlotSize).
+func (s *Store) fillSlot(buf, key, val []byte, seq uint32) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[slotState] = SlotLive
+	buf[slotKLen] = byte(len(key))
+	putU16(buf[slotVLen:], uint16(len(val)))
+	putU32(buf[slotSeq:], seq)
+	copy(buf[slotHdr:], key)
+	copy(buf[slotHdr+len(key):], val)
+}
+
+// lock takes the shard's writer lock: the §7.2 interlocked TestAndSet
+// on the header page, with exponential-backoff retries. Every
+// collision counts as a conflict; exhausting the budget returns
+// ErrShardBusy rather than spinning forever, so a crashed lock holder
+// degrades the shard instead of hanging its clients.
+func (s *Store) lock(shard int) error {
+	seg := s.segs[shard]
+	sc := &s.stats.shards[shard]
+	backoff := s.cfg.LockBackoff
+	maxBackoff := s.cfg.LockBackoff * 64
+	for i := 0; i < s.cfg.LockRetries; i++ {
+		old, err := seg.TestAndSet(hdrLock)
+		if err != nil {
+			return fmt.Errorf("app: lock shard %d: %w", shard, err)
+		}
+		if old == 0 {
+			return nil
+		}
+		sc.conflicts.Add(1)
+		s.o.Count(s.site, obs.CAppConflict)
+		s.sleep(backoff)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("%w: shard %d", ErrShardBusy, shard)
+}
+
+// unlock releases the shard lock.
+func (s *Store) unlock(shard int) {
+	// A failed Clear (e.g. a degraded grant mid-fault) leaves the lock
+	// set; the next locker's retry budget surfaces ErrShardBusy, and
+	// the error is already visible on the mutation that failed.
+	_ = s.segs[shard].Clear(hdrLock)
+}

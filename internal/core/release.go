@@ -41,6 +41,10 @@ func (e *Engine) ReleaseSegment(seg int32) {
 			Kind: kind, Seg: seg, Page: int32(p),
 			Data: append([]byte(nil), sn.m.Frame(p)...),
 		})
+		// Trace-wise the copy is surrendered the moment it ships home:
+		// the frame stays installed only to serve grant cycles already
+		// in flight, and the detached process can never touch it again.
+		e.emit(obs.Event{Type: obs.EvPageState, Seg: seg, Page: int32(p)})
 	}
 	if sn.releasesPending == 0 {
 		sn.releasing = false
@@ -130,11 +134,12 @@ func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
 	}
 	p := int(m.Page)
 	if sn.m.Present(p) {
+		// The surrender was already traced when the release shipped
+		// (ReleaseSegment); this just frees the frame.
 		sn.m.Invalidate(p)
 		a := sn.m.Aux(p)
 		a.ReaderMask = 0
 		a.Writer = mmu.NoWriter
-		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page})
 	}
 	sn.releasesPending--
 	if sn.releasesPending == 0 {

@@ -15,6 +15,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mirage/internal/chaos"
@@ -226,9 +227,17 @@ func (s *Site) Spawn(name string, uid int, fn func(p *Proc)) *Proc {
 	s.c.nextPid++
 	p.task = s.CPU.Spawn(name, func(t *sched.Task) {
 		fn(p)
-		// Detach anything still attached on exit, as UNIX does.
-		for _, h := range p.attached {
-			if !h.detached {
+		// Detach anything still attached on exit, as UNIX does — in
+		// segment-id order, not map order: exit cleanup sends release
+		// traffic, and a schedule-deterministic simulation must not
+		// let Go's map iteration pick its sequence.
+		ids := make([]mem.SegID, 0, len(p.attached))
+		for id := range p.attached {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if h := p.attached[id]; !h.detached {
 				p.shmdt(h)
 			}
 		}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"mirage/internal/quantile"
 )
 
 // Counter identifies one monotonic per-site counter in a Registry.
@@ -57,6 +59,11 @@ const (
 	// Simulated fabric delivery.
 	CNetDelivered
 	CNetByte
+	// Application layer (internal/app sharded KV store).
+	CAppOp
+	CAppHit
+	CAppMiss
+	CAppConflict
 
 	counterCount
 )
@@ -96,6 +103,10 @@ var counterNames = [...]string{
 	CFlushByte:      "flush_bytes",
 	CNetDelivered:   "net_delivered",
 	CNetByte:        "net_bytes",
+	CAppOp:          "app_ops",
+	CAppHit:         "app_hits",
+	CAppMiss:        "app_misses",
+	CAppConflict:    "app_conflicts",
 }
 
 func (c Counter) String() string {
@@ -141,6 +152,9 @@ const (
 	// HRecoverLatency: library-failover duration (ns), from the
 	// successor starting recovery to it resuming grants.
 	HRecoverLatency
+	// HAppOpLatency: application store operation latency (ns), from op
+	// entry to completion including any DSM faults and lock waits.
+	HAppOpLatency
 
 	histCount
 )
@@ -151,6 +165,7 @@ var histNames = [...]string{
 	HFlushFrames:     "flush_frames_per_batch",
 	HFlushBytes:      "flush_bytes_per_batch",
 	HRecoverLatency:  "recover_latency_ns",
+	HAppOpLatency:    "app_op_latency_ns",
 }
 
 func (h HistID) String() string {
@@ -172,7 +187,14 @@ var histLow = [histCount]int64{
 	HFlushFrames:     1,
 	HFlushBytes:      1,
 	HRecoverLatency:  int64(time.Millisecond),
+	HAppOpLatency:    int64(time.Microsecond),
 }
+
+// NewHist returns a standalone histogram whose lowest bucket bound is
+// lo (buckets double from there). Registry histograms are built in
+// place; standalone ones serve ad hoc measurements like the load
+// generator's per-rung latency distributions.
+func NewHist(lo int64) *Hist { return &Hist{lo: lo} }
 
 // Hist is a fixed-bucket, lock-free histogram. Buckets double from the
 // configured low bound; samples above the last bound land in the
@@ -225,27 +247,24 @@ func (h *Hist) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from
-// the bucket boundaries, or 0 when empty.
+// the bucket boundaries, or 0 when empty. The scan is the shared
+// internal/quantile helper over a point-in-time copy of the atomic
+// buckets.
 func (h *Hist) Quantile(q float64) int64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
+	var counts [histBucketCount + 1]int64
+	var bounds [histBucketCount]int64
 	ub := h.lo
 	for i := 0; i < histBucketCount; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			return ub
-		}
+		counts[i] = h.buckets[i].Load()
+		bounds[i] = ub
 		ub <<= 1
 	}
-	return h.max.Load()
+	counts[histBucketCount] = h.buckets[histBucketCount].Load()
+	return quantile.Q(q, counts[:], bounds[:], h.max.Load())
 }
+
+// Summary returns the histogram's standard p50/p95/p99/p999 quartet.
+func (h *Hist) Summary() quantile.Summary { return quantile.Of(h) }
 
 // HistSnapshot is a point-in-time copy of one histogram, JSON-friendly.
 type HistSnapshot struct {

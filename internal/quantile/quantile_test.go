@@ -1,0 +1,80 @@
+package quantile
+
+import "testing"
+
+func TestEmpty(t *testing.T) {
+	if got := Q(0.5, []int64{0, 0, 0}, []int64{1, 2}, 99); got != 0 {
+		t.Fatalf("empty histogram: got %d, want 0", got)
+	}
+	if got := Q(0.5, nil, nil, 0); got != 0 {
+		t.Fatalf("nil histogram: got %d, want 0", got)
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	counts := []int64{7}
+	bounds := []int64{10}
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := Q(q, counts, bounds, 123); got != 10 {
+			t.Fatalf("q=%v: got %d, want 10", q, got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	counts := []int64{1, 1, 1, 1}
+	bounds := []int64{1, 2, 4, 8}
+	// q ≤ 0 resolves the first non-empty bucket.
+	if got := Q(0, counts, bounds, 8); got != 1 {
+		t.Fatalf("q=0: got %d, want 1", got)
+	}
+	if got := Q(-3, counts, bounds, 8); got != 1 {
+		t.Fatalf("q=-3: got %d, want 1", got)
+	}
+	// q > 1 behaves as q = 1.
+	if got := Q(7, counts, bounds, 8); got != 8 {
+		t.Fatalf("q=7: got %d, want 8", got)
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	// counts one longer than bounds: the extra bucket is overflow and
+	// resolves to max.
+	counts := []int64{2, 0, 3}
+	bounds := []int64{10, 20}
+	if got := Q(0.5, counts, bounds, 555); got != 10 {
+		t.Fatalf("p50: got %d, want 10", got)
+	}
+	if got := Q(1, counts, bounds, 555); got != 555 {
+		t.Fatalf("p100: got %d, want max 555", got)
+	}
+}
+
+func TestMidBuckets(t *testing.T) {
+	counts := []int64{10, 80, 9, 1}
+	bounds := []int64{1, 2, 4, 8}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		// target = int(q·total) clamped to ≥ 1: q=0.999 of 100 samples
+		// targets sample 99, still inside the ≤4 bucket.
+		{0.05, 1}, {0.10, 1}, {0.11, 2}, {0.50, 2}, {0.90, 2}, {0.95, 4}, {0.99, 4}, {0.999, 4}, {1, 8},
+	}
+	for _, c := range cases {
+		if got := Q(c.q, counts, bounds, 8); got != c.want {
+			t.Fatalf("q=%v: got %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+type fakeHist struct{}
+
+func (fakeHist) Quantile(q float64) int64 { return int64(q * 1000) }
+
+func TestOf(t *testing.T) {
+	s := Of(fakeHist{})
+	if s.P50 != 500 || s.P95 != 950 || s.P99 != 990 || s.P999 != 999 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"time"
 	"unicode/utf8"
+
+	"mirage/internal/quantile"
 )
 
 // Table renders rows with aligned columns. Rows are added as cells;
@@ -160,26 +162,18 @@ func (h *Histogram) Mean() time.Duration {
 func (h *Histogram) Max() time.Duration { return h.max }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1),
-// resolved to bucket boundaries.
+// resolved to bucket boundaries. The scan itself is the shared
+// internal/quantile helper.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	want := int(q * float64(h.total))
-	if want < 1 {
-		want = 1
-	}
-	acc := 0
+	counts := make([]int64, len(h.counts))
 	for i, c := range h.counts {
-		acc += c
-		if acc >= want {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return h.max
-		}
+		counts[i] = int64(c)
 	}
-	return h.max
+	bounds := make([]int64, len(h.bounds))
+	for i, b := range h.bounds {
+		bounds[i] = int64(b)
+	}
+	return time.Duration(quantile.Q(q, counts, bounds, int64(h.max)))
 }
 
 // WriteTo prints an ASCII rendering of non-empty buckets.
