@@ -34,8 +34,11 @@ type Cluster struct {
 // NewCluster starts n sites. With Options.TCP the sites exchange
 // protocol traffic over TCP sockets; otherwise over in-process queues.
 func NewCluster(n int, opts Options) (*Cluster, error) {
-	if n <= 0 || n > 64 {
-		return nil, fmt.Errorf("mirage: cluster size %d out of range [1,64]", n)
+	if n <= 0 {
+		return nil, fmt.Errorf("mirage: cluster size %d out of range [1,%d]", n, MaxSites)
+	}
+	if n > MaxSites {
+		return nil, fmt.Errorf("mirage: cluster size %d: %w", n, ErrTooManySites)
 	}
 	opts = opts.withDefaults()
 	if opts.PageSize < 0 {
@@ -71,6 +74,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		Costs:       &core.Costs{}, // live nodes run at native speed
 		Reliability: opts.Reliability,
 		Obs:         opts.Obs,
+		InvalFanout: opts.InvalFanout,
 	}
 	if opts.Failover != nil {
 		// Copy so the caller's struct is untouched; the cluster knows

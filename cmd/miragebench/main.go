@@ -29,6 +29,16 @@
 // Every point's multi-epoch trace is re-verified by the coherence
 // checker; -trace saves the deepest point's trace for miragetrace.
 //
+// E20 breaks the 64-site wall: it sweeps cluster size to N=1000 on
+// the calibrated simulator under a read-all-then-write-one workload
+// and compares the paper's flat unicast invalidation against the
+// k-ary fan-out tree (Options.InvalFanout) at several arities,
+// measuring the library site's per-write-fault sends, invalidation
+// latency, wire bytes, and CPU share. It then re-runs an N=100 point
+// with the tracer attached — clean, and under chaos plans crashing an
+// interior relay site and a leaf — and verifies every trace with the
+// coherence checker; -out records the full grid and the checked runs.
+//
 // E19 runs the service-saturation ladder: the sharded session store
 // (internal/app) under deterministic open-loop load (internal/load) on
 // a rising rate ladder, on the calibrated simulator — clean and under
@@ -55,6 +65,7 @@ import (
 	"mirage/internal/check"
 	"mirage/internal/exp"
 	"mirage/internal/load"
+	"mirage/internal/mmu"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/transport"
@@ -74,6 +85,14 @@ type benchRecord struct {
 	TotalWallS  float64           `json:"total_wall_seconds"`
 	Micro       map[string]string `json:"microbench,omitempty"`
 	Service     *serviceRecord    `json:"service,omitempty"`
+	Scale       *scaleRecord      `json:"scale,omitempty"`
+}
+
+// scaleRecord is the E20 section of the -out record: the full
+// size × arity grid plus the trace-verified runs.
+type scaleRecord struct {
+	Points  []exp.ScalePoint       `json:"points"`
+	Checked []exp.ScaleCheckResult `json:"checked"`
 }
 
 type experimentWall struct {
@@ -142,7 +161,7 @@ func liveServiceLadder(cfg exp.ServiceConfig) ([]load.Rung, error) {
 // sustained throughput over a real loopback TCP mesh.
 func microbench() map[string]string {
 	out := map[string]string{}
-	ctl := wire.Msg{Kind: wire.KInval, Mode: wire.Write, Seg: 3, Page: 17, Req: 2, Readers: 0b1011}
+	ctl := wire.Msg{Kind: wire.KInval, Mode: wire.Write, Seg: 3, Page: 17, Req: 2, Readers: mmu.CopysetOf(0, 1, 3)}
 	page := wire.Msg{Kind: wire.KPageSend, Seg: 1, Page: 2, Data: make([]byte, 512)}
 	buf := make([]byte, 0, wire.MaxFrame)
 	r := testing.Benchmark(func(b *testing.B) {
@@ -208,7 +227,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e19) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e20) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
@@ -615,6 +634,72 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		rec.Service = serviceRecordOf(r)
+	})
+
+	run("e20", "beyond the paper: scaling past 64 sites — flat vs tree invalidation (E20)", func() {
+		pts := exp.ScaleSweep(*quick)
+		t := stats.NewTable("sites", "fanout", "lib sends/fault", "inval ms", "KB/fault", "lib CPU", "relays")
+		byGrid := map[[2]int]exp.ScalePoint{}
+		maxN := 0
+		for _, p := range pts {
+			fan := "flat"
+			if p.Fanout > 0 {
+				fan = fmt.Sprintf("k=%d", p.Fanout)
+			}
+			t.Row(p.Sites, fan, fmt.Sprintf("%.1f", p.LibSends),
+				fmt.Sprintf("%.1f", p.InvalLatMs), fmt.Sprintf("%.1f", p.KBFault),
+				fmt.Sprintf("%.1f%%", 100*p.LibCPU), p.Relays)
+			byGrid[[2]int{p.Sites, p.Fanout}] = p
+			if p.Sites > maxN {
+				maxN = p.Sites
+			}
+		}
+		t.WriteTo(stdout)
+		flat := byGrid[[2]int{maxN, 0}]
+		for _, k := range []int{4, 8, 16} {
+			tree, ok := byGrid[[2]int{maxN, k}]
+			if !ok || tree.LibSends <= 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "N=%d k=%d: library sends per write fault %.1f vs %.1f flat (x%.1f reduction)\n",
+				maxN, k, tree.LibSends, flat.LibSends, flat.LibSends/tree.LibSends)
+		}
+
+		// Trace-verified runs: clean, then chaos crashing an interior
+		// relay root (orders give up at the clock) and a leaf (the
+		// relay reports KInvalFail and the clock falls back).
+		checkN, checkK := 100, 8
+		if *quick {
+			checkN, checkK = 20, 4
+		}
+		roots := exp.ScaleRelayRoots(checkN, checkK)
+		interior := roots[1]
+		specs := []string{
+			"",
+			fmt.Sprintf("seed=7; crash site=%d from=2200ms until=10s", interior),
+			fmt.Sprintf("seed=7; crash site=%d from=2200ms until=10s", interior+1),
+		}
+		var checked []exp.ScaleCheckResult
+		for _, spec := range specs {
+			r, err := exp.ScaleChecked(checkN, checkK, spec)
+			if err != nil {
+				fmt.Fprintf(stderr, "miragebench: e20 checked run %q: %v\n", spec, err)
+				code = 1
+				continue
+			}
+			checked = append(checked, r)
+			name := "clean"
+			if spec != "" {
+				name = spec
+			}
+			fmt.Fprintf(stdout, "checked N=%d k=%d [%s]: %d events, %d violations\n",
+				checkN, checkK, name, r.Events, r.Violations)
+			if r.Violations > 0 {
+				code = 1
+			}
+		}
+		rec.Scale = &scaleRecord{Points: pts, Checked: checked}
+		fmt.Fprintln(stdout, "paper: §10.0 \"invalidations may become expensive\" — the fan-out tree caps the library's share at O(k)")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

@@ -17,6 +17,7 @@
 //	miragesim -workload counters -delta 600ms -dur 10s -trace /tmp/run.jsonl
 //	miragesim -workload counters -delta 600ms -metrics
 //	miragesim -workload readers -sites 4 -delta 100ms
+//	miragesim -workload readers -sites 200 -fanout 8 -delta 20ms
 //	miragesim -workload counters -chaos "drop p=0.05; delay p=0.3 max=20ms" -chaos-seed 7
 //	miragesim -workload counters -delta 600ms -runs 8
 //	miragesim -workload counters -delta 600ms -check
@@ -66,6 +67,7 @@ import (
 	"mirage/internal/exp"
 	"mirage/internal/ipc"
 	"mirage/internal/load"
+	"mirage/internal/mmu"
 	"mirage/internal/obs"
 	"mirage/internal/stats"
 	"mirage/internal/trace"
@@ -87,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	delta := fs.Duration("delta", 0, "time window Δ")
 	dur := fs.Duration("dur", 10*time.Second, "virtual run length")
 	sites := fs.Int("sites", 2, "number of sites (readers and service workloads)")
+	fanout := fs.Int("fanout", 0, "invalidation fan-out tree arity k (0 or 1 = flat per-reader unicast)")
 	rate := fs.Float64("rate", 50, "offered load in req/s (service workload)")
 	skew := fs.String("skew", "zipf", "key popularity: uniform | zipf | hotspot (service workload)")
 	yield := fs.Bool("yield", true, "use the yield() call in wait loops (pingpong)")
@@ -124,6 +127,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var recorder *trace.Log
 	if *reflogPath != "" {
 		recorder = trace.NewLog()
+	}
+
+	if *sites > mmu.MaxSites {
+		return fail("-sites %d: %v", *sites, mmu.ErrTooManySites)
 	}
 
 	n := 2
@@ -170,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// for bit.
 	wantTrace := *tracePath != "" || *checkRun
 	runOnce := func() (string, *ipc.Cluster, *obs.Obs, *app.Stats) {
-		opts := core.Options{Policy: pol}
+		opts := core.Options{Policy: pol, InvalFanout: *fanout}
 		if recorder != nil {
 			opts.Tracer = recorder
 		}

@@ -142,6 +142,14 @@ type Options struct {
 	// the library is about to grant it. Mirage ships the routine
 	// disabled (nil), as the paper does.
 	TuneDelta func(TuneInfo) time.Duration
+	// InvalFanout, when ≥ 2, turns write-grant invalidation into a
+	// k-ary fan-out tree: the clock site partitions the reader set into
+	// at most InvalFanout delegated subtrees, interior holder sites
+	// relay the orders onward and return one aggregated ack each, so a
+	// large invalidation costs the clock O(k) sends and O(log_k N)
+	// latency instead of one unicast per reader. Values below 2 (the
+	// default) keep the flat per-reader unicast of the paper.
+	InvalFanout int
 	// SkipInsiderUpgradeCheck, when set, lets a new writer that is a
 	// member of the current read set upgrade without the Δ clock check
 	// (reading the window as protection from outside interruption
@@ -176,6 +184,7 @@ type Stats struct {
 	Degraded    int // accessor-visible degraded-grant errors raised
 	Stale       int // out-of-cycle or inconsistent messages tolerated
 	Lost        int // pages zero-filled after unrecoverable copy loss
+	Reissued    int // inval orders reissued as unicast by the delegation watchdog
 
 	// Failover counters; all zero unless Options.Failover is set.
 	Failovers  int // takeover triggers sent after losing the library
@@ -235,6 +244,7 @@ type Engine struct {
 	site  int
 	segs  map[int32]*segNode
 	pend  map[pageKey]*pendingInval // clock-side invalidation collections
+	relay map[pageKey]*invalRelay   // interior-site delegated inval subtrees
 	rel   *rel                      // nil unless Options.Reliability set
 	stash map[pageKey][]byte        // clock-side frames captured per grant cycle
 	stats Stats
@@ -257,6 +267,7 @@ func New(env Env, opt Options) *Engine {
 		site:  env.Site(),
 		segs:  make(map[int32]*segNode),
 		pend:  make(map[pageKey]*pendingInval),
+		relay: make(map[pageKey]*invalRelay),
 		stash: make(map[pageKey][]byte),
 		obs:   opt.Obs,
 	}
@@ -397,6 +408,11 @@ func (e *Engine) DestroySegment(id int32) {
 	for k := range e.pend {
 		if k.seg == id {
 			delete(e.pend, k)
+		}
+	}
+	for k := range e.relay {
+		if k.seg == id {
+			delete(e.relay, k)
 		}
 	}
 	for k := range e.stash {
@@ -607,6 +623,8 @@ func (e *Engine) handle(m *wire.Msg) {
 		e.handleInvalOrder(sn, m)
 	case wire.KInvalAck:
 		e.handleInvalAck(sn, m)
+	case wire.KInvalFail:
+		e.handleInvalFail(sn, m)
 	case wire.KPageSend:
 		e.handlePageSend(sn, m)
 	case wire.KUpgradeGrant:
@@ -614,7 +632,7 @@ func (e *Engine) handle(m *wire.Msg) {
 	case wire.KAlready:
 		e.handleAlready(sn, m)
 	case wire.KClockHandoff:
-		sn.m.Aux(int(m.Page)).ReaderMask = mmu.SiteMask(m.Readers)
+		sn.m.Aux(int(m.Page)).ReaderMask = m.Readers
 	case wire.KReleaseDone:
 		e.handleReleaseDone(sn, m)
 	case wire.KDenied:
@@ -636,6 +654,7 @@ func (e *Engine) send(to int, m *wire.Msg) {
 // configured; loopback always bypasses it (a site reaches itself).
 func (e *Engine) transmit(to int, m *wire.Msg) {
 	e.obs.Count(e.site, obs.CMsgSent)
+	e.obs.CountN(e.site, obs.CWireByte, int64(m.EncodedLen()))
 	switch m.Kind {
 	case wire.KPageSend:
 		e.obs.Count(e.site, obs.CPageSent)

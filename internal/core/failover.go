@@ -64,7 +64,7 @@ type recovery struct {
 
 // recovPage accumulates one page's reported holders.
 type recovPage struct {
-	readers mmu.SiteMask
+	readers mmu.Copyset
 	writer  int
 	clock   int // first reporter claiming the clock role, -1 if none
 }
@@ -92,7 +92,7 @@ func (e *Engine) failoverEnabled() bool {
 // already attempted (the trigger itself may be undeliverable); it
 // returns false when no candidate remains and the caller should fall
 // back to the degraded-grant path.
-func (e *Engine) triggerFailover(sn *segNode, seg int32, tried mmu.SiteMask) bool {
+func (e *Engine) triggerFailover(sn *segNode, seg int32, tried mmu.Copyset) bool {
 	fo := e.opt.Failover
 	dead := sn.curLib
 	cand := -1
@@ -113,7 +113,7 @@ func (e *Engine) triggerFailover(sn *segNode, seg int32, tried mmu.SiteMask) boo
 		From: int32(dead), To: int32(cand)})
 	e.send(cand, &wire.Msg{
 		Kind: wire.KRecover, Seg: seg, Page: -1,
-		Req: int32(cand), Readers: uint64(tried.Add(cand)),
+		Req: int32(cand), Readers: tried.Add(cand),
 	})
 	return true
 }
@@ -226,7 +226,7 @@ func (e *Engine) finishRecovery(sn *segNode) {
 		case rp.writer != mmu.NoWriter:
 			p.writer = rp.writer
 			p.clock = rp.writer
-			p.readers = 0
+			p.readers = mmu.Copyset{}
 			// Read copies alongside a writer are leftovers of a write
 			// cycle the crash interrupted mid-collection; order them
 			// discarded to restore Table 1's exclusivity.
@@ -248,7 +248,7 @@ func (e *Engine) finishRecovery(sn *segNode) {
 			// Refresh the clock's reader mask to the rebuilt set.
 			e.send(clock, &wire.Msg{
 				Kind: wire.KClockHandoff, Seg: seg, Page: int32(pg),
-				Readers: uint64(rp.readers),
+				Readers: rp.readers,
 			})
 		}
 	}
@@ -283,7 +283,7 @@ func (e *Engine) handleRecoverReply(sn *segNode, m *wire.Msg) {
 		case sn.recov != nil && int(m.Req) == e.site:
 			e.recovPeerDone(sn, int(m.From))
 		case sn.recov == nil && sn.lib == nil && int(m.Req) == int(m.From):
-			e.triggerFailover(sn, m.Seg, mmu.SiteMask(m.Readers))
+			e.triggerFailover(sn, m.Seg, m.Readers)
 		}
 		return
 	}
@@ -340,6 +340,14 @@ func (e *Engine) adoptEpoch(sn *segNode, epoch uint32, newLib int) {
 		if k.seg == seg {
 			delete(e.pend, k)
 			e.rollbackPend(sn, k.page, pi)
+		}
+	}
+	// Delegated inval subtrees are dead with their epoch: the parent
+	// resolves them through its own epoch handling, and answering it
+	// from the old epoch would be fenced anyway.
+	for k := range e.relay {
+		if k.seg == seg {
+			delete(e.relay, k)
 		}
 	}
 	for k := range e.stash {
@@ -430,7 +438,7 @@ func (e *Engine) localHoldings(sn *segNode) []holding {
 			st = recWrite | recClock
 		} else {
 			st = recRead
-			if sn.m.Aux(p).ReaderMask != 0 {
+			if !sn.m.Aux(p).ReaderMask.Empty() {
 				st |= recClock
 			}
 		}
@@ -522,11 +530,11 @@ func (e *Engine) lateReport(sn *segNode, from int, hs []holding) {
 				// but the survivor only ever read the page: demote the
 				// entry so grant cycles use the right invalidation mode.
 				p.writer = mmu.NoWriter
-				p.readers = mmu.MaskOf(from)
+				p.readers = mmu.CopysetOf(from)
 				p.clock = from
 				e.send(from, &wire.Msg{
 					Kind: wire.KClockHandoff, Seg: seg, Page: h.page,
-					Readers: uint64(p.readers),
+					Readers: p.readers,
 				})
 			}
 		case p.readers.Has(from):

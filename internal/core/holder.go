@@ -12,13 +12,66 @@ import (
 // pendingInval is clock-site transient state while other readers'
 // copies are being collected for a write grant.
 type pendingInval struct {
-	m        *wire.Msg // the KInval being honored
-	needAcks int
-	data     []byte // page contents captured for the new writer
-	// Rollback state for the reliability layer: the reader mask as it
+	m         *wire.Msg   // the KInval being honored
+	remaining mmu.Copyset // targets whose discard is not yet confirmed
+	data      []byte      // page contents captured for the new writer
+	// Rollback state for the reliability layer: the reader set as it
 	// stood before the cycle, and which targets have discarded so far.
-	origMask mmu.SiteMask
-	acked    mmu.SiteMask
+	origMask mmu.Copyset
+	acked    mmu.Copyset
+	// Tree mode: direct child -> the subtree copyset delegated to it,
+	// used to fall back to unicast when a child's circuit gives up.
+	sub map[int]mmu.Copyset
+}
+
+// invalRelay is interior-site transient state for one delegated
+// invalidation subtree: the site discarded its own copy, relayed
+// orders onward, and owes its parent one aggregated ack.
+type invalRelay struct {
+	parent    int
+	cycle     uint32
+	remaining mmu.Copyset // subtree members not yet confirmed
+	acked     mmu.Copyset // confirmed discards (includes this site)
+	failed    mmu.Copyset // members given up on (reported via KInvalFail)
+	sub       map[int]mmu.Copyset
+}
+
+// fanoutInvalOrders sends KInvalOrder to every site in targets. In
+// flat mode (InvalFanout < 2) or for small sets each target gets a
+// plain unicast order and acks the sender directly. In tree mode the
+// sorted target list is partitioned into at most k contiguous slices;
+// each slice's first member becomes a relay that receives the whole
+// slice as a copyset, discards its own copy, fans out to the rest, and
+// returns one aggregated ack. Returns the child->subtree map (nil for
+// the unicast path) for give-up fallback bookkeeping.
+func (e *Engine) fanoutInvalOrders(m *wire.Msg, targets mmu.Copyset) map[int]mmu.Copyset {
+	k := e.opt.InvalFanout
+	if k < 2 || targets.Count() <= k {
+		targets.ForEach(func(s int) {
+			e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+		})
+		return nil
+	}
+	members := targets.Sites()
+	n := len(members)
+	sub := make(map[int]mmu.Copyset, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if lo >= hi {
+			continue
+		}
+		slice := mmu.CopysetOf(members[lo:hi]...)
+		root := members[lo]
+		sub[root] = slice
+		e.send(root, &wire.Msg{
+			Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
+			Readers: slice,
+		})
+	}
+	e.obs.Count(e.site, obs.CInvalFanout)
+	e.emit(obs.Event{Type: obs.EvInvalFanout, Seg: m.Seg, Page: m.Page,
+		Cycle: m.Cycle, Arg: int64(len(sub))})
+	return sub
 }
 
 // CheckAccess classifies a local access for the ipc layer. Pages of a
@@ -57,7 +110,7 @@ func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 		// Our copy is gone (dropped by an earlier degraded grant); the
 		// library's record is behind. Fail the whole batch back.
 		e.markStale()
-		mmu.SiteMask(m.Readers).ForEach(func(s int) {
+		m.Readers.ForEach(func(s int) {
 			e.send(sn.curLib, &wire.Msg{
 				Kind: wire.KGrantFail, Mode: wire.Read, Seg: m.Seg, Page: m.Page,
 				Req: int32(s), Cycle: m.Cycle,
@@ -66,9 +119,9 @@ func (e *Engine) handleAddReader(sn *segNode, m *wire.Msg) {
 		return
 	}
 	a := sn.m.Aux(p)
-	a.ReaderMask |= mmu.SiteMask(m.Readers)
+	a.ReaderMask = a.ReaderMask.Union(m.Readers)
 	data := sn.m.Frame(p)
-	mmu.SiteMask(m.Readers).ForEach(func(s int) {
+	m.Readers.ForEach(func(s int) {
 		e.stats.PagesSent++
 		e.send(s, &wire.Msg{
 			Kind:  wire.KPageSend,
@@ -170,9 +223,9 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 1})
 		a.Writer = mmu.NoWriter
 		a.Window = m.Delta
-		a.ReaderMask = mmu.MaskOf(e.site) | mmu.SiteMask(m.Readers)
+		a.ReaderMask = mmu.CopysetOf(e.site).Union(m.Readers)
 		data := sn.m.Frame(p)
-		mmu.SiteMask(m.Readers).ForEach(func(s int) {
+		m.Readers.ForEach(func(s int) {
 			e.stats.PagesSent++
 			e.send(s, &wire.Msg{
 				Kind:  wire.KPageSend,
@@ -189,8 +242,17 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 
 	// Write grant: rows Readers/Writer and Writer/Writer. Collect every
 	// readable copy except the new writer's own (upgrade), then grant.
+	//
+	// Targets are the intersection of the clock's mask with the
+	// library's record (m.Readers). The clock's mask goes stale on
+	// release — releases flow to the library, which never tells the
+	// clock — so it can still name sites that surrendered their copies
+	// cycles ago. Ordering those sites is wasted traffic in the happy
+	// path, but fatal under an aborted cycle: they ack vacuously, land
+	// in the acked set, and the rollback re-ships them copies the
+	// library's record no longer tracks.
 	origMask := a.ReaderMask
-	targets := a.ReaderMask.Remove(e.site).Remove(int(m.Req))
+	targets := a.ReaderMask.Intersect(m.Readers).Remove(e.site).Remove(int(m.Req))
 	var data []byte
 	if int(m.Req) == e.site && m.Upgrade {
 		// We are both clock site and upgrading requester: keep our copy.
@@ -200,19 +262,62 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		data = sn.m.Invalidate(p)
 		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	}
-	a.ReaderMask = 0
+	a.ReaderMask = mmu.Copyset{}
 	a.Writer = mmu.NoWriter
 
 	if targets.Empty() {
 		e.finishWriteGrant(sn, m, data)
 		return
 	}
-	e.pend[pageKey{m.Seg, m.Page}] = &pendingInval{
-		m: m, needAcks: targets.Count(), data: data, origMask: origMask,
+	pi := &pendingInval{m: m, remaining: targets, data: data, origMask: origMask}
+	k := pageKey{m.Seg, m.Page}
+	e.pend[k] = pi
+	pi.sub = e.fanoutInvalOrders(m, targets)
+	if e.rel != nil && len(pi.sub) > 0 {
+		e.env.After(e.delegationTimeout(), func() {
+			if cur, ok := e.pend[k]; ok && cur == pi {
+				e.reissueDelegations(k, pi.m.Cycle, pi.sub, pi.remaining)
+			}
+		})
 	}
-	targets.ForEach(func(s int) {
-		e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
-	})
+}
+
+// delegationTimeout is how long a delegating site waits for a
+// subtree's aggregated answer before falling back to direct orders:
+// twice the reliable channel's give-up horizon, so a child relay that
+// legitimately spends the whole horizon giving up on a dead leaf (and
+// then reports) still beats the deadline.
+func (e *Engine) delegationTimeout() time.Duration {
+	var h time.Duration
+	for i := 1; i <= e.rel.opt.MaxAttempts; i++ {
+		h += e.rel.timeout(i)
+	}
+	return 2 * h
+}
+
+// reissueDelegations converts every still-unanswered subtree to direct
+// unicast orders from this site. Flat orders need no watchdog —
+// processing an order and acking it are the same instant, so the
+// sender's ARQ on the order covers the whole exchange — but a
+// delegated order opens a window between the transport ack (order
+// delivered to the relay) and the protocol ack (the relay's
+// aggregated KInvalAck). A relay that fail-stops inside that window
+// has already satisfied the sender's ARQ, so nothing retransmits and
+// the cycle would wedge forever. Reissuing as unicast is always safe:
+// a member that already discarded holds no copy and acks vacuously, a
+// live-but-slow relay's late aggregate merges idempotently, and a
+// truly dead member now fails through the normal order give-up path
+// (abort at the clock, KInvalFail at a relay) instead of hanging.
+func (e *Engine) reissueDelegations(k pageKey, cycle uint32, sub map[int]mmu.Copyset, remaining mmu.Copyset) {
+	for root, subtree := range sub {
+		delete(sub, root)
+		subtree.ForEach(func(s int) {
+			if remaining.Has(s) {
+				e.stats.Reissued++
+				e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: k.seg, Page: k.page, Cycle: cycle})
+			}
+		})
+	}
 }
 
 // finishWriteGrant runs at the clock site once no readable copy
@@ -271,24 +376,77 @@ func (e *Engine) finishWriteGrant(sn *segNode, m *wire.Msg, data []byte) {
 	})
 }
 
-// handleInvalOrder runs at a reader told to discard its copy.
+// handleInvalOrder runs at a reader told to discard its copy. With a
+// non-empty Readers copyset the order also delegates a subtree: after
+// discarding its own copy the site relays orders to the remaining
+// members and answers its parent with one aggregated ack.
 func (e *Engine) handleInvalOrder(sn *segNode, m *wire.Msg) {
 	e.stats.InvalOrders++
 	p := int(m.Page)
 	if sn.m.Present(p) {
 		sn.m.Invalidate(p)
 		a := sn.m.Aux(p)
-		a.ReaderMask = 0
+		a.ReaderMask = mmu.Copyset{}
 		a.Writer = mmu.NoWriter
 		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
 	}
-	e.send(int(m.From), &wire.Msg{Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+	rest := m.Readers.Remove(e.site)
+	if rest.Empty() {
+		// Leaf (or flat unicast): a single-site ack.
+		e.send(int(m.From), &wire.Msg{
+			Kind: wire.KInvalAck, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
+			Readers: mmu.CopysetOf(e.site),
+		})
+		return
+	}
+	// Interior relay: fan out to the delegated subtree and hold the ack
+	// until every member is resolved. A newer order for the same page
+	// supersedes any stale relay state (its parent has already given up
+	// or aborted; late acks to it resolve as stale).
+	e.obs.Count(e.site, obs.CRelay)
+	e.emit(obs.Event{Type: obs.EvRelay, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
+		From: m.From, Arg: int64(rest.Count())})
+	rl := &invalRelay{
+		parent:    int(m.From),
+		cycle:     m.Cycle,
+		remaining: rest,
+		acked:     mmu.CopysetOf(e.site),
+	}
+	rl.sub = e.fanoutInvalOrders(m, rest)
+	k := pageKey{m.Seg, m.Page}
+	e.relay[k] = rl
+	if e.rel != nil && len(rl.sub) > 0 {
+		e.env.After(e.delegationTimeout(), func() {
+			if cur, ok := e.relay[k]; ok && cur == rl {
+				e.reissueDelegations(k, rl.cycle, rl.sub, rl.remaining)
+			}
+		})
+	}
 }
 
-// handleInvalAck collects discard confirmations at the clock site.
+// ackCovered returns the set of sites an inval-ack confirms: the
+// carried copyset on the tree path, the sender alone otherwise.
+func ackCovered(m *wire.Msg) mmu.Copyset {
+	if m.Readers.Empty() {
+		return mmu.CopysetOf(int(m.From))
+	}
+	return m.Readers
+}
+
+// handleInvalAck collects discard confirmations — at the clock site
+// for the cycle in flight, or at an interior relay for its delegated
+// subtree.
 func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
 	e.obs.Count(e.site, obs.CInvalAcked)
 	k := pageKey{m.Seg, m.Page}
+	if rl, ok := e.relay[k]; ok && rl.cycle == m.Cycle {
+		covered := ackCovered(m)
+		rl.acked = rl.acked.Union(covered)
+		rl.remaining = rl.remaining.Subtract(covered)
+		delete(rl.sub, int(m.From))
+		e.relayMaybeFinish(k, rl)
+		return
+	}
 	pi, ok := e.pend[k]
 	if !ok || (e.rel != nil && m.Cycle != pi.m.Cycle) {
 		if e.rel != nil {
@@ -297,18 +455,96 @@ func (e *Engine) handleInvalAck(sn *segNode, m *wire.Msg) {
 		}
 		panic(fmt.Sprintf("core: site %d: unexpected inval-ack: %v", e.site, m))
 	}
-	pi.acked = pi.acked.Add(int(m.From))
-	pi.needAcks--
-	if pi.needAcks > 0 {
+	covered := ackCovered(m)
+	pi.acked = pi.acked.Union(covered)
+	pi.remaining = pi.remaining.Subtract(covered)
+	if pi.sub != nil {
+		delete(pi.sub, int(m.From))
+	}
+	if !pi.remaining.Empty() {
 		return
 	}
 	delete(e.pend, k)
 	e.finishWriteGrant(sn, pi.m, pi.data)
 }
 
+// relayMaybeFinish sends the aggregated answer to the relay's parent
+// once every subtree member is resolved. The ack travels first so the
+// parent merges this relay's confirmed set before any failure report
+// triggers rollback — both messages ride the same FIFO circuit.
+func (e *Engine) relayMaybeFinish(k pageKey, rl *invalRelay) {
+	if !rl.remaining.Empty() {
+		return
+	}
+	delete(e.relay, k)
+	e.send(rl.parent, &wire.Msg{
+		Kind: wire.KInvalAck, Seg: k.seg, Page: k.page, Cycle: rl.cycle,
+		Readers: rl.acked,
+	})
+	if !rl.failed.Empty() {
+		e.send(rl.parent, &wire.Msg{
+			Kind: wire.KInvalFail, Seg: k.seg, Page: k.page, Cycle: rl.cycle,
+			Readers: rl.failed,
+		})
+	}
+}
+
+// relayOrderFailed runs at a relay whose circuit to a child gave up:
+// the child is recorded as failed, and the rest of the subtree it was
+// delegated falls back to direct unicast orders from this relay, so a
+// crashed interior site degrades the tree to the flat path instead of
+// stranding its descendants.
+func (e *Engine) relayOrderFailed(k pageKey, rl *invalRelay, to int) {
+	subtree, ok := rl.sub[to]
+	delete(rl.sub, to)
+	if !ok {
+		subtree = mmu.CopysetOf(to)
+	}
+	if rl.remaining.Has(to) {
+		rl.failed = rl.failed.Add(to)
+		rl.remaining = rl.remaining.Remove(to)
+	}
+	subtree.Remove(to).ForEach(func(s int) {
+		if rl.remaining.Has(s) {
+			e.send(s, &wire.Msg{Kind: wire.KInvalOrder, Seg: k.seg, Page: k.page, Cycle: rl.cycle})
+		}
+	})
+	e.relayMaybeFinish(k, rl)
+}
+
+// handleInvalFail receives a relay's unreachable-subtree report. At
+// the clock site it aborts the cycle exactly like a direct reader
+// circuit giving up; at an intermediate relay it folds the failure
+// into the aggregated answer for its own parent.
+func (e *Engine) handleInvalFail(sn *segNode, m *wire.Msg) {
+	k := pageKey{m.Seg, m.Page}
+	if rl, ok := e.relay[k]; ok && rl.cycle == m.Cycle {
+		rl.failed = rl.failed.Union(m.Readers)
+		rl.remaining = rl.remaining.Subtract(m.Readers)
+		e.relayMaybeFinish(k, rl)
+		return
+	}
+	pi, ok := e.pend[k]
+	if !ok || m.Cycle != pi.m.Cycle {
+		e.markStale()
+		return
+	}
+	e.invalOrderFailed(sn, pi.m, int(m.From))
+}
+
 // handlePageSend installs a received page at the requester and
 // completes its share of the grant cycle.
 func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
+	if sn.releasing && !sn.outR[m.Page] && !sn.outW[m.Page] {
+		// An unsolicited copy — a clock rollback re-shipping to a
+		// reader whose release is still queued at the busy library.
+		// The copy was surrendered the moment it shipped home;
+		// re-installing would leave a frame the library's record no
+		// longer tracks (and, once the record drains, coexist with a
+		// reclaimed writable copy at the library).
+		e.stats.Dropped++
+		return
+	}
 	e.stats.PagesReceived++
 	e.obs.Count(e.site, obs.CPageRecv)
 	p := int(m.Page)
@@ -330,7 +566,7 @@ func (e *Engine) handlePageSend(sn *segNode, m *wire.Msg) {
 	a.Window = m.Delta
 	if m.Mode == wire.Write {
 		a.Writer = e.site
-		a.ReaderMask = 0
+		a.ReaderMask = mmu.Copyset{}
 	} else {
 		a.Writer = mmu.NoWriter
 	}
@@ -384,7 +620,7 @@ func (e *Engine) handleUpgradeGrant(sn *segNode, m *wire.Msg) {
 	a := sn.m.Aux(p)
 	a.Writer = e.site
 	a.Window = m.Delta
-	a.ReaderMask = 0
+	a.ReaderMask = mmu.Copyset{}
 	e.stats.Upgrades++
 	e.obs.Count(e.site, obs.CUpgrade)
 	e.emit(obs.Event{Type: obs.EvUpgrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})

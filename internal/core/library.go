@@ -34,9 +34,9 @@ type libReq struct {
 type grantCycle struct {
 	active   bool
 	write    bool
-	to       int          // new writer (write grants)
-	batch    mmu.SiteMask // new readers (read grants)
-	oldWrite bool         // a writer was downgraded by this read grant
+	to       int         // new writer (write grants)
+	batch    mmu.Copyset // new readers (read grants)
+	oldWrite bool        // a writer was downgraded by this read grant
 	oldClock int
 	inval    *wire.Msg // retained for Δ retries
 	attempts int
@@ -46,7 +46,7 @@ type grantCycle struct {
 // "record which sites are storing a given page", distinguishing
 // writers from readers).
 type libPage struct {
-	readers mmu.SiteMask
+	readers mmu.Copyset
 	writer  int // mmu.NoWriter if none
 	clock   int
 	delta   time.Duration
@@ -86,7 +86,7 @@ func newLibSeg(meta *mem.Segment) *libSeg {
 
 // LibraryPageState is a read-only snapshot for tests and diagnostics.
 type LibraryPageState struct {
-	Readers mmu.SiteMask
+	Readers mmu.Copyset
 	Writer  int
 	Clock   int
 	Delta   time.Duration
@@ -279,9 +279,9 @@ func (e *Engine) libProcess(sn *segNode, page int32) {
 // KAlready to already-satisfied ones, and returns the batch to grant
 // together (§6.1: "Read requests for the same page are batched
 // together and granted to all the readers at one time").
-func (e *Engine) libCollectReads(sn *segNode, page int32) mmu.SiteMask {
+func (e *Engine) libCollectReads(sn *segNode, page int32) mmu.Copyset {
 	p := &sn.lib.pages[page]
-	var batch mmu.SiteMask
+	var batch mmu.Copyset
 	var rest []libReq
 	for _, r := range p.queue {
 		if r.kind != reqRead {
@@ -330,7 +330,7 @@ func (e *Engine) libTunedDelta(sn *segNode, page int32, write bool) time.Duratio
 
 // libStartReadCycle grants a batch of readers (Table 1 rows
 // Readers/Readers and Writer/Readers).
-func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) {
+func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.Copyset) {
 	p := &sn.lib.pages[page]
 	delta := e.libTunedDelta(sn, page, false)
 	p.busy = true
@@ -344,7 +344,7 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) 
 			active: true, batch: batch, oldWrite: true, oldClock: p.writer,
 			inval: &wire.Msg{
 				Kind: wire.KInval, Mode: wire.Read, Seg: int32(sn.meta.ID), Page: page,
-				Readers: uint64(batch), Delta: delta, Cycle: p.cycle,
+				Readers: batch, Delta: delta, Cycle: p.cycle,
 			},
 		}
 		e.send(p.writer, p.grant.inval)
@@ -354,7 +354,7 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.SiteMask) 
 	p.grant = grantCycle{active: true, batch: batch, oldClock: p.clock}
 	e.send(p.clock, &wire.Msg{
 		Kind: wire.KAddReader, Seg: int32(sn.meta.ID), Page: page,
-		Readers: uint64(batch), Delta: delta, Cycle: p.cycle,
+		Readers: batch, Delta: delta, Cycle: p.cycle,
 	})
 }
 
@@ -374,7 +374,7 @@ func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
 		active: true, write: true, to: to,
 		inval: &wire.Msg{
 			Kind: wire.KInval, Mode: wire.Write, Seg: int32(sn.meta.ID), Page: page,
-			Req: int32(to), Upgrade: upgrade, Readers: uint64(p.readers), Delta: delta,
+			Req: int32(to), Upgrade: upgrade, Readers: p.readers, Delta: delta,
 			Cycle: p.cycle,
 		},
 	}
@@ -392,14 +392,14 @@ func (e *Engine) libFinishCycle(sn *segNode, page int32) {
 	e.emit(obs.Event{Type: obs.EvGrantEnd, Seg: int32(sn.meta.ID), Page: page, Cycle: p.cycle})
 	if g.write {
 		p.writer = g.to
-		p.readers = 0
+		p.readers = mmu.Copyset{}
 		p.clock = g.to
 	} else if g.oldWrite {
-		p.readers = mmu.MaskOf(g.oldClock) | g.batch
+		p.readers = mmu.CopysetOf(g.oldClock).Union(g.batch)
 		p.writer = mmu.NoWriter
 		p.clock = g.oldClock
 	} else {
-		p.readers |= g.batch
+		p.readers = p.readers.Union(g.batch)
 	}
 	p.busy = false
 	p.grant = grantCycle{}

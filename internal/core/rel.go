@@ -268,7 +268,7 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 		// stays armed as the backstop and the takeover's epoch adoption
 		// wakes them to re-request. Otherwise fail the access.
 		if e.failoverEnabled() && to == sn.curLib &&
-			e.triggerFailover(sn, m.Seg, 0) {
+			e.triggerFailover(sn, m.Seg, mmu.Copyset{}) {
 			return
 		}
 		e.failPage(sn, m.Seg, m.Page, fmt.Errorf("%w: site %d (library) lost %v", ErrUnreachable, to, m.Kind))
@@ -306,6 +306,10 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 		e.send(sn.curLib, fail)
 
 	case wire.KInvalOrder:
+		if rl, ok := e.relay[pageKey{m.Seg, m.Page}]; ok && rl.cycle == m.Cycle {
+			e.relayOrderFailed(pageKey{m.Seg, m.Page}, rl, to)
+			return
+		}
 		e.invalOrderFailed(sn, m, to)
 
 	case wire.KRecover:
@@ -318,7 +322,7 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 		// A takeover trigger that could not reach its candidate: walk
 		// on to the next one. Readers carries the candidates tried.
 		if e.failoverEnabled() && int(m.Req) == to &&
-			e.triggerFailover(sn, m.Seg, mmu.SiteMask(m.Readers)) {
+			e.triggerFailover(sn, m.Seg, m.Readers) {
 			return
 		}
 		e.stats.Dropped++
@@ -410,12 +414,12 @@ func (e *Engine) failPage(sn *segNode, seg, page int32, err error) {
 	p := int(page)
 	if hadW && sn.m.Present(p) && sn.m.Prot(p) == mmu.ReadOnly {
 		a := sn.m.Aux(p)
-		if a.ReaderMask != mmu.MaskOf(e.site) {
+		if !a.ReaderMask.Equal(mmu.CopysetOf(e.site)) {
 			// Either we are not the clock (the clock holds a copy) or
 			// other readers exist: discarding ours cannot lose data.
 			data := append([]byte(nil), sn.m.Frame(p)...)
 			sn.m.Invalidate(p)
-			a.ReaderMask = 0
+			a.ReaderMask = mmu.Copyset{}
 			a.Writer = mmu.NoWriter
 			e.emit(obs.Event{Type: obs.EvPageState, Seg: seg, Page: page})
 			// The library still lists this site as a reader — and

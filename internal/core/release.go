@@ -82,7 +82,7 @@ func (e *Engine) libProcessRelease(sn *segNode, page int32, r libReq) {
 			p.clock = nc
 			e.send(nc, &wire.Msg{
 				Kind: wire.KClockHandoff, Seg: int32(sn.meta.ID), Page: page,
-				Readers: uint64(p.readers),
+				Readers: p.readers,
 			})
 		}
 	default:
@@ -113,9 +113,9 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 	a := sn.m.Aux(int(page))
 	a.Writer = e.site
 	a.Window = 0
-	a.ReaderMask = 0
+	a.ReaderMask = mmu.Copyset{}
 	p.writer = e.site
-	p.readers = 0
+	p.readers = mmu.Copyset{}
 	p.clock = e.site
 	e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(sn.meta.ID), Page: page, Arg: 2})
 }
@@ -138,7 +138,7 @@ func (e *Engine) handleReleaseDone(sn *segNode, m *wire.Msg) {
 		// (ReleaseSegment); this just frees the frame.
 		sn.m.Invalidate(p)
 		a := sn.m.Aux(p)
-		a.ReaderMask = 0
+		a.ReaderMask = mmu.Copyset{}
 		a.Writer = mmu.NoWriter
 	}
 	sn.releasesPending--

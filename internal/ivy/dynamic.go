@@ -33,11 +33,11 @@ type Dynamic struct {
 type dynPage struct {
 	probOwner int
 	owner     bool
-	copyset   mmu.SiteMask // meaningful only while owner
-	busy      bool         // owner collecting invalidation acks
-	queue     []*Msg       // requests awaiting the owner
-	waitInv   int          // outstanding invalidation acks
-	grantUp   bool         // the ack completion upgrades this site in place
+	copyset   siteMask // meaningful only while owner
+	busy      bool     // owner collecting invalidation acks
+	queue     []*Msg   // requests awaiting the owner
+	waitInv   int      // outstanding invalidation acks
+	grantUp   bool     // the ack completion upgrades this site in place
 }
 
 type dynSeg struct {
@@ -75,7 +75,7 @@ func (e *Dynamic) CreateSegment(meta *mem.Segment) {
 		sn.m.Install(p, nil, mmu.ReadWrite, now)
 		sn.pages[p].owner = true
 		sn.pages[p].probOwner = e.site
-		sn.pages[p].copyset = mmu.MaskOf(e.site)
+		sn.pages[p].copyset = maskOf(e.site)
 	}
 }
 
@@ -357,7 +357,7 @@ func (e *Dynamic) finishOwnerUpgrade(sn *dynSeg, page int32) {
 	if sn.m.Prot(int(page)) == mmu.ReadOnly {
 		sn.m.Upgrade(int(page), now)
 	}
-	dp.copyset = mmu.MaskOf(e.site)
+	dp.copyset = maskOf(e.site)
 	dp.busy = false
 	dp.grantUp = false
 	e.finishLocal(sn, page, wire.Write)
@@ -399,8 +399,8 @@ func (e *Dynamic) handleDynPage(sn *dynSeg, m *Msg) {
 	sn.m.Install(p, m.Data, mmu.ReadWrite, now)
 	dp.owner = true
 	dp.probOwner = e.site
-	dp.copyset = mmu.MaskOf(e.site)
-	targets := mmu.SiteMask(m.Copyset).Remove(e.site)
+	dp.copyset = maskOf(e.site)
+	targets := siteMask(m.Copyset).Remove(e.site)
 	if targets.Empty() {
 		e.finishLocal(sn, m.Page, wire.Write)
 		e.drainQueue(sn, m.Page)
@@ -481,7 +481,7 @@ func (e *Dynamic) handleDynRelease(sn *dynSeg, m *Msg) {
 	if sn.m.Present(p) {
 		sn.m.Invalidate(p)
 	}
-	cs := mmu.SiteMask(m.Copyset).Remove(int(m.From))
+	cs := siteMask(m.Copyset).Remove(int(m.From))
 	prot := mmu.ReadWrite
 	if !cs.Remove(e.site).Empty() {
 		prot = mmu.ReadOnly

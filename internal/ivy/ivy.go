@@ -120,7 +120,7 @@ type mgrReq struct {
 // mgrPage is the manager's per-page record.
 type mgrPage struct {
 	owner   int
-	copyset mmu.SiteMask // read-copy holders, including the owner
+	copyset siteMask // read-copy holders, including the owner
 	busy    bool
 	waitInv int
 	grant   mgrReq
@@ -172,7 +172,7 @@ func (e *Engine) CreateSegment(meta *mem.Segment) {
 	for p := 0; p < meta.Pages; p++ {
 		sn.m.Install(p, nil, mmu.ReadWrite, now)
 		sn.mgr[p].owner = e.site
-		sn.mgr[p].copyset = mmu.MaskOf(e.site)
+		sn.mgr[p].copyset = maskOf(e.site)
 	}
 }
 
@@ -433,7 +433,7 @@ func (e *Engine) mgrConfirm(sn *segNode, m *Msg) {
 	r := mp.grant
 	if r.write {
 		mp.owner = r.site
-		mp.copyset = mmu.MaskOf(r.site)
+		mp.copyset = maskOf(r.site)
 	} else {
 		mp.copyset = mp.copyset.Add(r.site)
 	}

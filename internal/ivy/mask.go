@@ -1,0 +1,42 @@
+package ivy
+
+import "math/bits"
+
+// siteMask is a flat uint64 site set. IVY is kept as a paper-scale
+// baseline (its wire format ships the copy set as a raw uint64), so it
+// keeps the simple 64-site mask the Mirage engine outgrew; ivy
+// clusters are capped at 64 sites by construction.
+type siteMask uint64
+
+// Add returns m with site s added.
+func (m siteMask) Add(s int) siteMask { return m | 1<<uint(s) }
+
+// Remove returns m with site s removed.
+func (m siteMask) Remove(s int) siteMask { return m &^ (1 << uint(s)) }
+
+// Has reports whether site s is in the set.
+func (m siteMask) Has(s int) bool { return m&(1<<uint(s)) != 0 }
+
+// Count returns the number of sites in the set.
+func (m siteMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Empty reports whether the set has no sites.
+func (m siteMask) Empty() bool { return m == 0 }
+
+// ForEach calls fn for each member in ascending order.
+func (m siteMask) ForEach(fn func(s int)) {
+	for v := uint64(m); v != 0; {
+		s := bits.TrailingZeros64(v)
+		fn(s)
+		v &^= 1 << uint(s)
+	}
+}
+
+// maskOf builds a siteMask from site IDs.
+func maskOf(sites ...int) siteMask {
+	var m siteMask
+	for _, s := range sites {
+		m = m.Add(s)
+	}
+	return m
+}

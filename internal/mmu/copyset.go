@@ -1,0 +1,482 @@
+package mmu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxSites is the largest site ID a Copyset can hold, plus one. The
+// Mirage prototype ran on 3 VAXs and the first cut of this repo used a
+// uint64 mask ("64 sites is ample" — it was not); copysets now carry
+// 16-bit members so clusters scale to tens of thousands of simulated
+// sites.
+const MaxSites = 1 << 16
+
+// ErrTooManySites is returned wherever a cluster is sized beyond what
+// a Copyset can represent. Sizing is validated up front so that site
+// IDs never silently truncate inside the protocol.
+var ErrTooManySites = errors.New("too many sites: copysets hold at most 65536 sites")
+
+// inlineSites is the member capacity of the inline representation.
+// Mirage sharing is narrow in the common case (§7.2 measures a
+// handful of readers per page), so small sets must stay heap-free.
+const inlineSites = 6
+
+// Copyset is a set of site IDs, used as the auxpte "reader mask"
+// (paper Table 2), in every per-page library record, and on the wire.
+// It replaces the old uint64 SiteMask.
+//
+// It is a value type with copy-on-write spill storage: every method
+// returns a new set and never mutates shared state, so a Copyset may
+// be copied, stored, and compared like the integer mask it replaces.
+//
+// Representation: up to inlineSites members live in a small sorted
+// array with no heap storage; larger sets spill to a bitmap of 64-site
+// words. Both forms are kept canonical — spill != nil exactly when
+// Count() > inlineSites, inline members sorted and zero-padded, spill
+// trailing zero words trimmed — so reflect.DeepEqual agrees with
+// Equal.
+type Copyset struct {
+	n      int32
+	inline [inlineSites]uint16
+	spill  []uint64
+}
+
+// CopysetOf builds a Copyset from site IDs.
+func CopysetOf(sites ...int) Copyset {
+	var c Copyset
+	for _, s := range sites {
+		c = c.Add(s)
+	}
+	return c
+}
+
+// CopysetFromWords builds a Copyset from a bitmap of 64-site words
+// (site s lives at word s>>6, bit s&63). It takes ownership of words
+// and canonicalizes: trailing zero words are trimmed and small results
+// collapse to the inline form. Words beyond MaxSites/64 are ignored.
+func CopysetFromWords(words []uint64) Copyset {
+	if len(words) > MaxSites/64 {
+		words = words[:MaxSites/64]
+	}
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return Copyset{}
+	}
+	if n <= inlineSites {
+		var c Copyset
+		for w, v := range words {
+			for v != 0 {
+				b := bits.TrailingZeros64(v)
+				c.inline[c.n] = uint16(w<<6 + b)
+				c.n++
+				v &^= 1 << uint(b)
+			}
+		}
+		return c
+	}
+	i := len(words)
+	for i > 0 && words[i-1] == 0 {
+		i--
+	}
+	return Copyset{n: int32(n), spill: words[:i]}
+}
+
+// inlineIndex returns the position of s among the sorted inline
+// members, or the index it would be inserted at.
+func (c *Copyset) inlineIndex(s int) int {
+	i := 0
+	for i < int(c.n) && int(c.inline[i]) < s {
+		i++
+	}
+	return i
+}
+
+// Add returns c with site s added. Site IDs outside [0, MaxSites)
+// indicate a sizing bug upstream — cluster construction rejects such
+// clusters with ErrTooManySites — and panic here.
+func (c Copyset) Add(s int) Copyset {
+	if s < 0 || s >= MaxSites {
+		panic(fmt.Sprintf("mmu: site %d outside copyset range [0,%d)", s, MaxSites))
+	}
+	if c.spill == nil {
+		i := c.inlineIndex(s)
+		if i < int(c.n) && c.inline[i] == uint16(s) {
+			return c
+		}
+		if c.n < inlineSites {
+			copy(c.inline[i+1:c.n+1], c.inline[i:c.n])
+			c.inline[i] = uint16(s)
+			c.n++
+			return c
+		}
+		return c.spillAdd(s)
+	}
+	w, b := s>>6, uint(s&63)
+	if w < len(c.spill) && c.spill[w]&(1<<b) != 0 {
+		return c
+	}
+	nw := len(c.spill)
+	if w >= nw {
+		nw = w + 1
+	}
+	words := make([]uint64, nw)
+	copy(words, c.spill)
+	words[w] |= 1 << b
+	return Copyset{n: c.n + 1, spill: words}
+}
+
+// spillAdd converts a full inline set plus one new member to spill
+// form.
+func (c Copyset) spillAdd(s int) Copyset {
+	max := s
+	if m := int(c.inline[c.n-1]); m > max {
+		max = m
+	}
+	words := make([]uint64, max>>6+1)
+	for i := 0; i < int(c.n); i++ {
+		m := int(c.inline[i])
+		words[m>>6] |= 1 << uint(m&63)
+	}
+	words[s>>6] |= 1 << uint(s&63)
+	return Copyset{n: c.n + 1, spill: words}
+}
+
+// Remove returns c with site s removed. Removing an absent (or
+// out-of-range) site is a no-op.
+func (c Copyset) Remove(s int) Copyset {
+	if s < 0 || s >= MaxSites {
+		return c
+	}
+	if c.spill == nil {
+		i := c.inlineIndex(s)
+		if i >= int(c.n) || c.inline[i] != uint16(s) {
+			return c
+		}
+		copy(c.inline[i:], c.inline[i+1:int(c.n)])
+		c.n--
+		c.inline[c.n] = 0
+		return c
+	}
+	w, b := s>>6, uint(s&63)
+	if w >= len(c.spill) || c.spill[w]&(1<<b) == 0 {
+		return c
+	}
+	if int(c.n)-1 <= inlineSites {
+		var out Copyset
+		c.forEachSpill(func(m int) {
+			if m != s {
+				out.inline[out.n] = uint16(m)
+				out.n++
+			}
+		})
+		return out
+	}
+	words := make([]uint64, len(c.spill))
+	copy(words, c.spill)
+	words[w] &^= 1 << b
+	i := len(words)
+	for i > 0 && words[i-1] == 0 {
+		i--
+	}
+	return Copyset{n: c.n - 1, spill: words[:i]}
+}
+
+// Has reports whether site s is in the set.
+func (c Copyset) Has(s int) bool {
+	if s < 0 || s >= MaxSites {
+		return false
+	}
+	if c.spill == nil {
+		for i := 0; i < int(c.n); i++ {
+			if int(c.inline[i]) == s {
+				return true
+			}
+		}
+		return false
+	}
+	w := s >> 6
+	return w < len(c.spill) && c.spill[w]&(1<<uint(s&63)) != 0
+}
+
+// Count returns the number of sites in the set.
+func (c Copyset) Count() int { return int(c.n) }
+
+// Empty reports whether the set has no sites.
+func (c Copyset) Empty() bool { return c.n == 0 }
+
+// Sites returns the members in ascending order.
+func (c Copyset) Sites() []int {
+	out := make([]int, 0, c.n)
+	c.ForEach(func(s int) { out = append(out, s) })
+	return out
+}
+
+// ForEach calls fn for each member in ascending order.
+func (c Copyset) ForEach(fn func(s int)) {
+	if c.spill == nil {
+		for i := 0; i < int(c.n); i++ {
+			fn(int(c.inline[i]))
+		}
+		return
+	}
+	c.forEachSpill(fn)
+}
+
+func (c Copyset) forEachSpill(fn func(s int)) {
+	for w, v := range c.spill {
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			fn(w<<6 + b)
+			v &^= 1 << uint(b)
+		}
+	}
+}
+
+// Union returns the set of sites in either c or o.
+func (c Copyset) Union(o Copyset) Copyset {
+	if o.Empty() {
+		return c
+	}
+	if c.Empty() {
+		return o
+	}
+	if c.spill == nil && o.spill == nil {
+		out := c
+		for i := 0; i < int(o.n); i++ {
+			out = out.Add(int(o.inline[i]))
+		}
+		return out
+	}
+	words := make([]uint64, c.maxWord()+1)
+	if m := o.maxWord(); m >= len(words) {
+		grown := make([]uint64, m+1)
+		copy(grown, words)
+		words = grown
+	}
+	set := func(s int) { words[s>>6] |= 1 << uint(s&63) }
+	c.ForEach(set)
+	o.ForEach(set)
+	return CopysetFromWords(words)
+}
+
+// Subtract returns the sites in c that are not in o.
+func (c Copyset) Subtract(o Copyset) Copyset {
+	if c.Empty() || o.Empty() {
+		return c
+	}
+	if c.spill == nil {
+		var out Copyset
+		for i := 0; i < int(c.n); i++ {
+			if !o.Has(int(c.inline[i])) {
+				out.inline[out.n] = c.inline[i]
+				out.n++
+			}
+		}
+		return out
+	}
+	words := make([]uint64, len(c.spill))
+	copy(words, c.spill)
+	o.ForEach(func(s int) {
+		if w := s >> 6; w < len(words) {
+			words[w] &^= 1 << uint(s&63)
+		}
+	})
+	return CopysetFromWords(words)
+}
+
+// Intersect returns the sites present in both c and o.
+func (c Copyset) Intersect(o Copyset) Copyset {
+	if c.Empty() || o.Empty() {
+		return Copyset{}
+	}
+	if c.spill == nil {
+		var out Copyset
+		for i := 0; i < int(c.n); i++ {
+			if o.Has(int(c.inline[i])) {
+				out.inline[out.n] = c.inline[i]
+				out.n++
+			}
+		}
+		return out
+	}
+	words := make([]uint64, len(c.spill))
+	o.ForEach(func(s int) {
+		if w := s >> 6; w < len(words) {
+			words[w] |= c.spill[w] & (1 << uint(s&63))
+		}
+	})
+	return CopysetFromWords(words)
+}
+
+// Equal reports whether c and o contain the same sites.
+func (c Copyset) Equal(o Copyset) bool {
+	if c.n != o.n {
+		return false
+	}
+	if c.spill == nil {
+		return o.spill == nil && c.inline == o.inline
+	}
+	if o.spill == nil || len(c.spill) != len(o.spill) {
+		return false
+	}
+	for i := range c.spill {
+		if c.spill[i] != o.spill[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Spilled reports whether the set uses the bitmap representation
+// (more than inlineSites members).
+func (c Copyset) Spilled() bool { return c.spill != nil }
+
+// Words returns the spill bitmap (site s at word s>>6, bit s&63), or
+// nil for inline-form sets. The returned slice is shared: callers must
+// not mutate it.
+func (c Copyset) Words() []uint64 { return c.spill }
+
+// maxWord returns the word index of the largest member. The set must
+// be non-empty.
+func (c Copyset) maxWord() int {
+	if c.spill != nil {
+		return len(c.spill) - 1
+	}
+	return int(c.inline[c.n-1]) >> 6
+}
+
+// String renders the set like "{0,2,5}".
+func (c Copyset) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	c.ForEach(func(s int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", s)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Wire form. A copyset travels as a one-byte tag plus either a list of
+// 16-bit big-endian members (csWireList) or big-endian 64-bit bitmap
+// words (csWireBitmap). The empty set encodes as zero bytes. Encoders
+// pick whichever form is smaller; decoders accept both and canonicalize
+// duplicate or unordered members, so the choice is not protocol.
+const (
+	csWireList   = 0
+	csWireBitmap = 1
+)
+
+// MaxCopysetWireLen is the largest legal encoded copyset: a bitmap
+// covering all MaxSites sites. Decoders reject longer inputs, bounding
+// allocation.
+const MaxCopysetWireLen = 1 + 8*(MaxSites/64)
+
+// WireLen returns the number of bytes AppendWire will write.
+func (c Copyset) WireLen() int {
+	if c.n == 0 {
+		return 0
+	}
+	list := 1 + 2*int(c.n)
+	if c.spill != nil {
+		if bm := 1 + 8*len(c.spill); bm < list {
+			return bm
+		}
+	}
+	return list
+}
+
+// AppendWire appends the wire form of c to buf and returns the
+// extended slice. It allocates only if buf lacks capacity.
+func (c Copyset) AppendWire(buf []byte) []byte {
+	if c.n == 0 {
+		return buf
+	}
+	if c.spill != nil && 1+8*len(c.spill) < 1+2*int(c.n) {
+		buf = append(buf, csWireBitmap)
+		for _, w := range c.spill {
+			buf = append(buf,
+				byte(w>>56), byte(w>>48), byte(w>>40), byte(w>>32),
+				byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		}
+		return buf
+	}
+	buf = append(buf, csWireList)
+	if c.spill == nil {
+		for i := 0; i < int(c.n); i++ {
+			s := c.inline[i]
+			buf = append(buf, byte(s>>8), byte(s))
+		}
+		return buf
+	}
+	for w, v := range c.spill {
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			s := w<<6 + b
+			buf = append(buf, byte(s>>8), byte(s))
+			v &^= 1 << uint(b)
+		}
+	}
+	return buf
+}
+
+// DecodeCopysetWire decodes one copyset in the form produced by
+// AppendWire; b must be exactly the encoded bytes. Inline-sized lists
+// decode without allocating.
+func DecodeCopysetWire(b []byte) (Copyset, error) {
+	if len(b) == 0 {
+		return Copyset{}, nil
+	}
+	if len(b) > MaxCopysetWireLen {
+		return Copyset{}, fmt.Errorf("copyset: %d bytes exceeds max %d", len(b), MaxCopysetWireLen)
+	}
+	switch b[0] {
+	case csWireList:
+		mb := b[1:]
+		if len(mb) == 0 || len(mb)%2 != 0 {
+			return Copyset{}, fmt.Errorf("copyset: bad member-list length %d", len(mb))
+		}
+		n := len(mb) / 2
+		if n <= inlineSites {
+			var c Copyset
+			for i := 0; i < n; i++ {
+				c = c.Add(int(binary.BigEndian.Uint16(mb[2*i:])))
+			}
+			return c, nil
+		}
+		max := 0
+		for i := 0; i < n; i++ {
+			if s := int(binary.BigEndian.Uint16(mb[2*i:])); s > max {
+				max = s
+			}
+		}
+		words := make([]uint64, max>>6+1)
+		for i := 0; i < n; i++ {
+			s := int(binary.BigEndian.Uint16(mb[2*i:]))
+			words[s>>6] |= 1 << uint(s&63)
+		}
+		return CopysetFromWords(words), nil
+	case csWireBitmap:
+		wb := b[1:]
+		if len(wb) == 0 || len(wb)%8 != 0 {
+			return Copyset{}, fmt.Errorf("copyset: bad bitmap length %d", len(wb))
+		}
+		words := make([]uint64, len(wb)/8)
+		for i := range words {
+			words[i] = binary.BigEndian.Uint64(wb[8*i:])
+		}
+		return CopysetFromWords(words), nil
+	}
+	return Copyset{}, fmt.Errorf("copyset: unknown tag %d", b[0])
+}

@@ -1,0 +1,330 @@
+package mmu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCopysetBasics(t *testing.T) {
+	var c Copyset
+	if !c.Empty() || c.Count() != 0 {
+		t.Fatal("zero copyset should be empty")
+	}
+	c = c.Add(0).Add(2).Add(5)
+	if c.Count() != 3 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	for _, s := range []int{0, 2, 5} {
+		if !c.Has(s) {
+			t.Fatalf("missing %d", s)
+		}
+	}
+	if c.Has(1) || c.Has(63) || c.Has(65535) {
+		t.Fatal("unexpected members")
+	}
+	c = c.Remove(2)
+	if c.Has(2) || c.Count() != 2 {
+		t.Fatalf("after remove: %v", c)
+	}
+	if c.String() != "{0,5}" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCopysetSitesAndForEach(t *testing.T) {
+	c := CopysetOf(7, 1, 63, 1000)
+	want := []int{1, 7, 63, 1000}
+	if got := c.Sites(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	var walked []int
+	c.ForEach(func(s int) { walked = append(walked, s) })
+	if !reflect.DeepEqual(walked, want) {
+		t.Fatalf("ForEach = %v", walked)
+	}
+}
+
+func TestCopysetAddIdempotent(t *testing.T) {
+	c := CopysetOf(3).Add(3).Add(3)
+	if c.Count() != 1 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if !c.Remove(9).Equal(c) {
+		t.Fatal("removing absent member changed the set")
+	}
+}
+
+func TestCopysetSpillAndShrink(t *testing.T) {
+	c := CopysetOf(10, 20, 30, 40, 50, 60)
+	if c.Spilled() {
+		t.Fatal("6 members should stay inline")
+	}
+	c = c.Add(70)
+	if !c.Spilled() || c.Count() != 7 {
+		t.Fatalf("7 members should spill: spilled=%v count=%d", c.Spilled(), c.Count())
+	}
+	for _, s := range []int{10, 20, 30, 40, 50, 60, 70} {
+		if !c.Has(s) {
+			t.Fatalf("spilled set missing %d", s)
+		}
+	}
+	c = c.Remove(40)
+	if c.Spilled() || c.Count() != 6 {
+		t.Fatalf("should shrink back inline: spilled=%v count=%d", c.Spilled(), c.Count())
+	}
+	if !c.Equal(CopysetOf(10, 20, 30, 50, 60, 70)) {
+		t.Fatalf("after shrink: %v", c)
+	}
+}
+
+func TestCopysetValueSemantics(t *testing.T) {
+	a := CopysetOf(1, 100, 200, 300, 400, 500, 600) // spilled
+	if b := a.Add(700); a.Has(700) || !b.Has(700) {
+		t.Fatal("Add mutated the receiver's shared storage")
+	}
+	d := a.Remove(300)
+	if !a.Has(300) || d.Has(300) {
+		t.Fatal("Remove mutated the receiver's shared storage")
+	}
+}
+
+func TestCopysetCanonicalForms(t *testing.T) {
+	// The same set reached by different op orders must be DeepEqual.
+	a := CopysetOf(5, 900, 70).Add(3).Remove(900)
+	b := CopysetOf(3, 5, 70)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("canonical mismatch: %#v vs %#v", a, b)
+	}
+	// Spilled high member removed: trailing words must trim.
+	x := CopysetOf(1, 2, 3, 4, 5, 6, 7, 5000).Remove(5000).Add(8)
+	y := CopysetOf(1, 2, 3, 4, 5, 6, 7, 8)
+	if !reflect.DeepEqual(x, y) {
+		t.Fatalf("trim mismatch: %#v vs %#v", x, y)
+	}
+}
+
+func TestCopysetUnionSubtract(t *testing.T) {
+	a := CopysetOf(1, 2, 3)
+	b := CopysetOf(3, 4, 5000)
+	u := a.Union(b)
+	if !u.Equal(CopysetOf(1, 2, 3, 4, 5000)) {
+		t.Fatalf("union = %v", u)
+	}
+	if got := a.Subtract(b); !got.Equal(CopysetOf(1, 2)) {
+		t.Fatalf("subtract = %v", got)
+	}
+	big := CopysetOf(10, 11, 12, 13, 14, 15, 16, 17)
+	if got := big.Subtract(CopysetOf(12, 16, 99)); !got.Equal(CopysetOf(10, 11, 13, 14, 15, 17)) {
+		t.Fatalf("spilled subtract = %v", got)
+	}
+	if got := big.Union(Copyset{}); !got.Equal(big) {
+		t.Fatal("union with empty changed the set")
+	}
+	if got := a.Intersect(b); !got.Equal(CopysetOf(3)) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := big.Intersect(CopysetOf(11, 17, 5000)); !got.Equal(CopysetOf(11, 17)) {
+		t.Fatalf("spilled intersect = %v", got)
+	}
+	if got := big.Intersect(Copyset{}); !got.Empty() {
+		t.Fatalf("intersect with empty = %v", got)
+	}
+}
+
+func TestCopysetOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add past MaxSites must panic")
+		}
+	}()
+	CopysetOf(MaxSites)
+}
+
+// TestCopysetOracle drives randomized add/remove/union/subtract/iterate
+// sequences against a naive map[int]bool reference.
+func TestCopysetOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		c := Copyset{}
+		ref := map[int]bool{}
+		// Mix of tight site IDs (forces dup hits and inline<->spill
+		// transitions) and sparse high IDs (forces multi-word bitmaps).
+		site := func() int {
+			if rng.Intn(2) == 0 {
+				return rng.Intn(10)
+			}
+			return rng.Intn(MaxSites)
+		}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(11) {
+			case 0, 1, 2, 3:
+				s := site()
+				c = c.Add(s)
+				ref[s] = true
+			case 4, 5, 6:
+				s := site()
+				c = c.Remove(s)
+				delete(ref, s)
+			case 7:
+				var other Copyset
+				for i := rng.Intn(9); i > 0; i-- {
+					s := site()
+					other = other.Add(s)
+					ref[s] = true
+				}
+				c = c.Union(other)
+			case 8:
+				var other Copyset
+				for i := rng.Intn(4); i > 0; i-- {
+					s := site()
+					other = other.Add(s)
+					delete(ref, s)
+				}
+				c = c.Subtract(other)
+			case 9:
+				// Intersect with a set built from half the current
+				// members plus noise; the oracle keeps the overlap.
+				var other Copyset
+				for s := range ref {
+					if rng.Intn(2) == 0 {
+						other = other.Add(s)
+					}
+				}
+				for i := rng.Intn(4); i > 0; i-- {
+					other = other.Add(site())
+				}
+				c = c.Intersect(other)
+				for s := range ref {
+					if !other.Has(s) {
+						delete(ref, s)
+					}
+				}
+			case 10:
+				// Wire round trip mid-sequence.
+				enc := c.AppendWire(nil)
+				if len(enc) != c.WireLen() {
+					t.Fatalf("WireLen %d != encoded %d", c.WireLen(), len(enc))
+				}
+				dec, err := DecodeCopysetWire(enc)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				if !reflect.DeepEqual(dec, c) {
+					t.Fatalf("wire round trip: %#v vs %#v", dec, c)
+				}
+			}
+		}
+		if c.Count() != len(ref) {
+			t.Fatalf("trial %d: count %d != oracle %d", trial, c.Count(), len(ref))
+		}
+		prev := -1
+		n := 0
+		c.ForEach(func(s int) {
+			if s <= prev {
+				t.Fatalf("trial %d: iteration not strictly ascending: %d after %d", trial, s, prev)
+			}
+			if !ref[s] {
+				t.Fatalf("trial %d: iterated phantom member %d", trial, s)
+			}
+			prev = s
+			n++
+		})
+		if n != len(ref) {
+			t.Fatalf("trial %d: iterated %d members, oracle has %d", trial, n, len(ref))
+		}
+		for s := range ref {
+			if !c.Has(s) {
+				t.Fatalf("trial %d: missing member %d", trial, s)
+			}
+		}
+		if c.Spilled() != (len(ref) > inlineSites) {
+			t.Fatalf("trial %d: form not canonical: spilled=%v count=%d", trial, c.Spilled(), len(ref))
+		}
+	}
+}
+
+func TestCopysetWireDecodeTolerance(t *testing.T) {
+	// Duplicate and unordered list members collapse to set semantics.
+	raw := []byte{csWireList, 0, 9, 0, 5, 0, 9, 0, 5, 0, 1, 0, 9, 0, 9}
+	c, err := DecodeCopysetWire(raw)
+	if err != nil {
+		t.Fatalf("decode dup list: %v", err)
+	}
+	if !reflect.DeepEqual(c, CopysetOf(1, 5, 9)) {
+		t.Fatalf("dup list = %v", c)
+	}
+	// Bitmap with trailing zero words canonicalizes.
+	raw = []byte{csWireBitmap, 0, 0, 0, 0, 0, 0, 0, 6, 0, 0, 0, 0, 0, 0, 0, 0}
+	c, err = DecodeCopysetWire(raw)
+	if err != nil {
+		t.Fatalf("decode bitmap: %v", err)
+	}
+	if !reflect.DeepEqual(c, CopysetOf(1, 2)) {
+		t.Fatalf("bitmap = %v", c)
+	}
+	for _, bad := range [][]byte{
+		{csWireList},                      // empty member list
+		{csWireList, 0, 1, 0},             // odd member bytes
+		{csWireBitmap, 1, 2, 3},           // partial word
+		{2, 0, 0},                         // unknown tag
+		make([]byte, MaxCopysetWireLen+1), // oversized
+	} {
+		if _, err := DecodeCopysetWire(bad); err == nil {
+			t.Fatalf("decode accepted malformed %v", bad)
+		}
+	}
+}
+
+func TestCopysetWirePicksSmallerForm(t *testing.T) {
+	dense := CopysetOf()
+	for s := 0; s < 100; s++ {
+		dense = dense.Add(s)
+	}
+	if got, want := dense.WireLen(), 1+8*2; got != want {
+		t.Fatalf("dense 100-member set should use a 2-word bitmap: len=%d want %d", got, want)
+	}
+	sparse := CopysetOf(1, 5000, 10000, 20000, 30000, 40000, 50000)
+	if got, want := sparse.WireLen(), 1+2*7; got != want {
+		t.Fatalf("sparse 7-member set should use a member list: len=%d want %d", got, want)
+	}
+	for _, c := range []Copyset{dense, sparse} {
+		dec, err := DecodeCopysetWire(c.AppendWire(nil))
+		if err != nil || !reflect.DeepEqual(dec, c) {
+			t.Fatalf("round trip failed: %v %v", err, dec)
+		}
+	}
+}
+
+// Alloc gates: the protocol hot paths add to, iterate, and encode
+// copysets on every fault; the inline form must stay heap-free and
+// spilled iteration/encoding must not allocate beyond the buffer.
+func TestCopysetAllocGates(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() {
+		c := CopysetOf(1).Add(3).Add(5).Remove(3).Add(2)
+		if c.Count() != 3 {
+			t.Fatal("bad count")
+		}
+	}); n != 0 {
+		t.Fatalf("inline add/remove allocates %v/run", n)
+	}
+	inline := CopysetOf(1, 2, 3, 4, 5)
+	spilled := CopysetOf(0)
+	for s := 10; s < 1010; s++ {
+		spilled = spilled.Add(s)
+	}
+	sum := 0
+	if n := testing.AllocsPerRun(100, func() {
+		inline.ForEach(func(s int) { sum += s })
+		spilled.ForEach(func(s int) { sum += s })
+	}); n != 0 {
+		t.Fatalf("iterate allocates %v/run", n)
+	}
+	buf := make([]byte, 0, MaxCopysetWireLen)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = inline.AppendWire(buf[:0])
+		buf = spilled.AppendWire(buf[:0])
+	}); n != 0 {
+		t.Fatalf("AppendWire into sized buffer allocates %v/run", n)
+	}
+}

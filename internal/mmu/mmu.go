@@ -81,7 +81,7 @@ type PTE struct {
 
 // AuxPTE is one auxiliary parallel page table entry (paper Table 2).
 type AuxPTE struct {
-	ReaderMask  SiteMask      // list of sites using this page
+	ReaderMask  Copyset       // set of sites using this page
 	Writer      int           // current writer site, or NoWriter
 	Window      time.Duration // Δ allocated for this page ("window ticks")
 	InstallTime time.Duration // installation time of this page at this site

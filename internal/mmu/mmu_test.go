@@ -2,95 +2,8 @@ package mmu
 
 import (
 	"testing"
-	"testing/quick"
 	"time"
 )
-
-func TestMaskBasics(t *testing.T) {
-	var m SiteMask
-	if !m.Empty() || m.Count() != 0 {
-		t.Fatal("zero mask should be empty")
-	}
-	m = m.Add(0).Add(2).Add(5)
-	if m.Count() != 3 {
-		t.Fatalf("count = %d", m.Count())
-	}
-	for _, s := range []int{0, 2, 5} {
-		if !m.Has(s) {
-			t.Fatalf("missing %d", s)
-		}
-	}
-	if m.Has(1) || m.Has(63) {
-		t.Fatal("unexpected members")
-	}
-	m = m.Remove(2)
-	if m.Has(2) || m.Count() != 2 {
-		t.Fatalf("after remove: %v", m)
-	}
-	if m.String() != "{0,5}" {
-		t.Fatalf("String = %q", m.String())
-	}
-}
-
-func TestMaskSitesAndForEach(t *testing.T) {
-	m := MaskOf(7, 1, 63)
-	want := []int{1, 7, 63}
-	got := m.Sites()
-	if len(got) != 3 {
-		t.Fatalf("Sites = %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("Sites = %v, want %v", got, want)
-		}
-	}
-	var walked []int
-	m.ForEach(func(s int) { walked = append(walked, s) })
-	for i := range want {
-		if walked[i] != want[i] {
-			t.Fatalf("ForEach = %v", walked)
-		}
-	}
-}
-
-func TestMaskAddIdempotent(t *testing.T) {
-	m := MaskOf(3).Add(3).Add(3)
-	if m.Count() != 1 {
-		t.Fatalf("count = %d", m.Count())
-	}
-	if m.Remove(9) != m {
-		t.Fatal("removing absent member changed the mask")
-	}
-}
-
-func TestQuickMaskSetSemantics(t *testing.T) {
-	f := func(adds []uint8, removes []uint8) bool {
-		var m SiteMask
-		ref := map[int]bool{}
-		for _, a := range adds {
-			s := int(a % MaxSites)
-			m = m.Add(s)
-			ref[s] = true
-		}
-		for _, r := range removes {
-			s := int(r % MaxSites)
-			m = m.Remove(s)
-			delete(ref, s)
-		}
-		if m.Count() != len(ref) {
-			return false
-		}
-		for s := 0; s < MaxSites; s++ {
-			if m.Has(s) != ref[s] {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
-}
 
 func newSeg() *Seg { return NewSeg(4, 512) }
 

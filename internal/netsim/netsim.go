@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"mirage/internal/mmu"
 	"mirage/internal/obs"
 	"mirage/internal/sim"
 	"mirage/internal/vaxmodel"
@@ -101,8 +102,13 @@ type Network struct {
 	Obs *obs.Obs
 }
 
-// New creates a network of n sites on kernel k.
+// New creates a network of n sites on kernel k. Site counts beyond
+// mmu.MaxSites (the copyset capacity) are a configuration bug and
+// panic rather than silently corrupting reader records downstream.
 func New(k *sim.Kernel, n int) *Network {
+	if n > mmu.MaxSites {
+		panic(fmt.Sprintf("netsim: %d sites: %v", n, mmu.ErrTooManySites))
+	}
 	return &Network{
 		k:           k,
 		nics:        make([]nic, n),

@@ -64,6 +64,10 @@ const (
 	CAppHit
 	CAppMiss
 	CAppConflict
+	// Scale path: fan-out tree invalidation and wire accounting.
+	CInvalFanout
+	CRelay
+	CWireByte
 
 	counterCount
 )
@@ -107,6 +111,9 @@ var counterNames = [...]string{
 	CAppHit:         "app_hits",
 	CAppMiss:        "app_misses",
 	CAppConflict:    "app_conflicts",
+	CInvalFanout:    "inval_fanout",
+	CRelay:          "relays",
+	CWireByte:       "wire_bytes",
 }
 
 func (c Counter) String() string {
@@ -125,15 +132,26 @@ func Counters() []Counter {
 	return out
 }
 
-// MaxSites is the registry's site capacity; it matches the cluster
-// size cap on the public API.
-const MaxSites = 64
+// MaxSites is the registry's site capacity; it matches mmu.MaxSites,
+// the copyset (and therefore cluster-size) cap on the public API.
+const MaxSites = 65536
+
+// blockSites is how many per-site shards one lazily-allocated block
+// holds. Shard storage for 65536 sites would be tens of megabytes per
+// registry if allocated eagerly; blocks materialize on first touch, so
+// a 16-site cluster pays for one block, not a thousand.
+const blockSites = 64
 
 // shard holds one site's counters on its own cache lines so sites
 // never contend on increments.
 type shard struct {
 	v [counterCount]atomic.Int64
 	_ [64]byte
+}
+
+// shardBlock is one lazily-allocated run of site shards.
+type shardBlock struct {
+	shards [blockSites]shard
 }
 
 // HistID identifies one histogram in a Registry.
@@ -300,9 +318,11 @@ func (h *Hist) snapshot(name string) HistSnapshot {
 // Registry is the sharded metrics store: one cache-line-isolated shard
 // of monotonic counters per site plus a small set of global histograms.
 // All methods are safe for concurrent use and increments are a single
-// atomic add — cheap enough to leave on in live mode.
+// atomic add — cheap enough to leave on in live mode. Shard blocks are
+// allocated on a site's first increment (a one-time CAS); warm-path
+// increments stay allocation-free.
 type Registry struct {
-	shards [MaxSites]shard
+	blocks [MaxSites / blockSites]atomic.Pointer[shardBlock]
 	hists  [histCount]Hist
 }
 
@@ -315,16 +335,31 @@ func NewRegistry() *Registry {
 	return r
 }
 
+// shard returns site's shard, materializing its block on first touch.
+func (r *Registry) shard(site int) *shard {
+	if site < 0 || site >= MaxSites {
+		site = 0
+	}
+	bp := &r.blocks[site/blockSites]
+	b := bp.Load()
+	if b == nil {
+		nb := &shardBlock{}
+		if !bp.CompareAndSwap(nil, nb) {
+			b = bp.Load()
+		} else {
+			b = nb
+		}
+	}
+	return &b.shards[site%blockSites]
+}
+
 // Inc adds one to counter c for site. Out-of-range sites fold into
 // shard 0 rather than panicking — metrics must never take a run down.
 func (r *Registry) Inc(site int, c Counter) { r.Add(site, c, 1) }
 
 // Add adds n to counter c for site.
 func (r *Registry) Add(site int, c Counter, n int64) {
-	if site < 0 || site >= MaxSites {
-		site = 0
-	}
-	r.shards[site].v[c].Add(n)
+	r.shard(site).v[c].Add(n)
 }
 
 // Get returns counter c for one site.
@@ -332,14 +367,24 @@ func (r *Registry) Get(site int, c Counter) int64 {
 	if site < 0 || site >= MaxSites {
 		site = 0
 	}
-	return r.shards[site].v[c].Load()
+	b := r.blocks[site/blockSites].Load()
+	if b == nil {
+		return 0
+	}
+	return b.shards[site%blockSites].v[c].Load()
 }
 
 // Total returns counter c summed across all sites.
 func (r *Registry) Total(c Counter) int64 {
 	var t int64
-	for i := range r.shards {
-		t += r.shards[i].v[c].Load()
+	for i := range r.blocks {
+		b := r.blocks[i].Load()
+		if b == nil {
+			continue
+		}
+		for s := range b.shards {
+			t += b.shards[s].v[c].Load()
+		}
 	}
 	return t
 }
@@ -366,21 +411,28 @@ func (r *Registry) Snapshot() Snapshot {
 	for c := Counter(0); c < counterCount; c++ {
 		s.Totals[c.String()] = r.Total(c)
 	}
-	for site := 0; site < MaxSites; site++ {
-		var m map[string]int64
-		for c := Counter(0); c < counterCount; c++ {
-			if v := r.shards[site].v[c].Load(); v != 0 {
-				if m == nil {
-					m = make(map[string]int64)
-				}
-				m[c.String()] = v
-			}
+	for bi := range r.blocks {
+		b := r.blocks[bi].Load()
+		if b == nil {
+			continue
 		}
-		if m != nil {
-			if s.PerSite == nil {
-				s.PerSite = make(map[string]map[string]int64)
+		for si := range b.shards {
+			site := bi*blockSites + si
+			var m map[string]int64
+			for c := Counter(0); c < counterCount; c++ {
+				if v := b.shards[si].v[c].Load(); v != 0 {
+					if m == nil {
+						m = make(map[string]int64)
+					}
+					m[c.String()] = v
+				}
 			}
-			s.PerSite[fmt.Sprintf("site%d", site)] = m
+			if m != nil {
+				if s.PerSite == nil {
+					s.PerSite = make(map[string]map[string]int64)
+				}
+				s.PerSite[fmt.Sprintf("site%d", site)] = m
+			}
 		}
 	}
 	for id := HistID(0); id < histCount; id++ {

@@ -96,6 +96,15 @@ const (
 	// of the failed library it replaces. Emitted once per recovery at
 	// the new library site.
 	EvRecover
+	// EvInvalFanout is a site partitioning an invalidation target set
+	// into delegated subtrees (Arg: the number of direct children the
+	// orders went to).
+	EvInvalFanout
+	// EvRelay is an interior site accepting a delegated invalidation
+	// subtree: it discards its own copy, relays orders onward, and owes
+	// its parent (From) one aggregated ack (Arg: subtree size excluding
+	// this site).
+	EvRelay
 
 	evTypeCount
 )
@@ -110,23 +119,25 @@ const (
 )
 
 var evNames = [...]string{
-	EvInvalid:    "invalid",
-	EvFault:      "fault",
-	EvMsgSend:    "msg-send",
-	EvMsgRecv:    "msg-recv",
-	EvGrantStart: "grant-start",
-	EvGrantEnd:   "grant-end",
-	EvDeltaDeny:  "delta-deny",
-	EvRetry:      "retry",
-	EvPageState:  "page-state",
-	EvUpgrade:    "upgrade",
-	EvDowngrade:  "downgrade",
-	EvRetransmit: "retransmit",
-	EvChaos:      "chaos",
-	EvRead:       "read",
-	EvWrite:      "write",
-	EvFailover:   "failover",
-	EvRecover:    "recover",
+	EvInvalid:     "invalid",
+	EvFault:       "fault",
+	EvMsgSend:     "msg-send",
+	EvMsgRecv:     "msg-recv",
+	EvGrantStart:  "grant-start",
+	EvGrantEnd:    "grant-end",
+	EvDeltaDeny:   "delta-deny",
+	EvRetry:       "retry",
+	EvPageState:   "page-state",
+	EvUpgrade:     "upgrade",
+	EvDowngrade:   "downgrade",
+	EvRetransmit:  "retransmit",
+	EvChaos:       "chaos",
+	EvRead:        "read",
+	EvWrite:       "write",
+	EvFailover:    "failover",
+	EvRecover:     "recover",
+	EvInvalFanout: "inval-fanout",
+	EvRelay:       "relay",
 }
 
 func (t EvType) String() string {

@@ -3,6 +3,8 @@ package wire
 import (
 	"testing"
 	"time"
+
+	"mirage/internal/mmu"
 )
 
 // benchMsg is a representative control message (the dominant traffic
@@ -15,10 +17,21 @@ func benchMsg() Msg {
 		Page:    17,
 		From:    1,
 		Req:     2,
-		Readers: 0b1011,
+		Readers: mmu.CopysetOf(0, 1, 3),
 		Delta:   33 * time.Millisecond,
 		Seq:     42,
 	}
+}
+
+// benchInvalMsg is the scale-path control message: a KInval whose
+// copyset spans 1000 reader sites (spilled bitmap form).
+func benchInvalMsg() Msg {
+	var readers mmu.Copyset
+	for s := 0; s < 1000; s++ {
+		readers = readers.Add(s)
+	}
+	return Msg{Kind: KInval, Mode: Write, Seg: 3, Page: 17, From: 1, Req: 2,
+		Readers: readers, Delta: 33 * time.Millisecond, Seq: 42}
 }
 
 // benchPageMsg is the large traffic class: a 512-byte page in flight.
@@ -45,6 +58,17 @@ func BenchmarkEncodePage(b *testing.B) {
 	m := benchPageMsg()
 	buf := make([]byte, 0, MaxFrame)
 	b.SetBytes(int64(m.EncodedLen()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], &m)
+	}
+	_ = buf
+}
+
+func BenchmarkEncodeInval1000(b *testing.B) {
+	m := benchInvalMsg()
+	buf := make([]byte, 0, MaxFrame)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -102,6 +126,16 @@ func TestEncodeAllocFree(t *testing.T) {
 		buf = Encode(buf[:0], &m)
 	}); n != 0 {
 		t.Fatalf("Encode into sized buffer: %v allocs/op, want 0", n)
+	}
+}
+
+func TestEncodeInval1000AllocFree(t *testing.T) {
+	m := benchInvalMsg()
+	buf := make([]byte, 0, MaxFrame)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = Encode(buf[:0], &m)
+	}); n != 0 {
+		t.Fatalf("Encode of 1000-reader KInval: %v allocs/op, want 0", n)
 	}
 }
 

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"reflect"
 	"testing"
 	"time"
+
+	"mirage/internal/mmu"
 )
 
 // corpusMsg builds one representative message of the given kind for
@@ -13,7 +16,7 @@ import (
 func corpusMsg(k Kind) Msg {
 	m := Msg{
 		Kind: k, Seg: 7, Page: 3, From: 1, Req: 2, Pid: 42,
-		Readers: 0b1101, Delta: 20 * time.Millisecond,
+		Readers: mmu.CopysetOf(0, 2, 3), Delta: 20 * time.Millisecond,
 		Seq: 9, Epoch: 2, Cycle: 5,
 	}
 	switch k {
@@ -38,6 +41,22 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, headerLen+4))
+	// Variable-length copyset frames: spilled bitmap, truncated section,
+	// oversized length field, and duplicate members in a list.
+	big := mmu.Copyset{}
+	for s := 0; s < 500; s++ {
+		big = big.Add(s)
+	}
+	bigFrame := Encode(nil, &Msg{Kind: KInvalOrder, Seg: 1, Readers: big, Cycle: 3})
+	f.Add(bigFrame)
+	f.Add(bigFrame[:headerLen+9]) // copyset section cut mid-bitmap
+	oversized := Encode(nil, &Msg{Kind: KInvalAck, Readers: mmu.CopysetOf(1)})
+	binary.BigEndian.PutUint16(oversized[headerLen-6:], uint16(MaxCopyset+1))
+	f.Add(oversized)
+	dup := Encode(nil, &Msg{Kind: KInvalFail, Readers: mmu.CopysetOf(4, 9)})
+	dup = append(dup, 0, 9, 0, 4, 0, 9) // extra duplicate/unordered members
+	binary.BigEndian.PutUint16(dup[headerLen-6:], uint16(5+6))
+	f.Add(dup)
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		m, n, err := Decode(buf)
 		if err != nil {
@@ -74,7 +93,7 @@ func TestRoundTripEveryKind(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
-		if n != headerLen+len(m.Data) {
+		if n != headerLen+m.Readers.WireLen()+len(m.Data) {
 			t.Fatalf("%v: consumed %d", k, n)
 		}
 		if !reflect.DeepEqual(got, m) {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"mirage/internal/mmu"
 )
 
 // Kind discriminates protocol messages.
@@ -44,9 +46,16 @@ const (
 	// KBusy reports an unexpired window; Remaining says how long the
 	// library must wait before retrying (clock -> library).
 	KBusy
-	// KInvalOrder tells one reader to discard its copy (clock -> reader).
+	// KInvalOrder tells a reader to discard its copy (clock -> reader).
+	// With a non-empty Readers copyset it additionally delegates a
+	// subtree of the invalidation to the receiver: the receiver
+	// discards its own copy, relays orders to the remaining members,
+	// and returns one aggregated ack (the k-ary fan-out tree).
 	KInvalOrder
-	// KInvalAck confirms a discarded copy (reader -> clock).
+	// KInvalAck confirms discarded copies (reader/relay -> parent).
+	// Readers is the set of sites covered by this ack — the sender
+	// alone on the unicast path, a whole confirmed subtree on the tree
+	// path.
 	KInvalAck
 	// KPageSend carries page contents to a new holder (storing site ->
 	// requester; the large 1024-byte-class message). Mode is the
@@ -103,6 +112,10 @@ const (
 	// 5-byte records (page number + state byte); Upgrade marks the
 	// final chunk of the report.
 	KRecoverReply
+	// KInvalFail reports the subtree members a fan-out relay could not
+	// confirm (relay -> parent). Readers is the failed set; the clock
+	// aborts the cycle exactly as if it had lost a direct reader.
+	KInvalFail
 
 	kindCount
 )
@@ -129,6 +142,7 @@ var kindNames = [...]string{
 	KGrantFail:    "grant-fail",
 	KRecover:      "recover",
 	KRecoverReply: "recover-reply",
+	KInvalFail:    "inval-fail",
 }
 
 // ParseKind resolves a kind's String() name back to its value; the
@@ -181,12 +195,12 @@ type Msg struct {
 	Kind      Kind
 	Mode      Mode
 	Upgrade   bool
-	Seg       int32  // segment id
-	Page      int32  // page number within the segment
-	From      int32  // sending site
-	Req       int32  // requester / new writer site
-	Pid       int32  // requesting process id (for the library's reference log, §9.0)
-	Readers   uint64 // site mask: read batch or reader bookkeeping
+	Seg       int32       // segment id
+	Page      int32       // page number within the segment
+	From      int32       // sending site
+	Req       int32       // requester / new writer site
+	Pid       int32       // requesting process id (for the library's reference log, §9.0)
+	Readers   mmu.Copyset // copyset: read batch, reader bookkeeping, or fan-out subtree
 	Delta     time.Duration
 	Remaining time.Duration
 	Seq       uint64 // per-(sender,receiver) sequence number; 0 = unsequenced
@@ -238,24 +252,30 @@ func (m *Msg) String() string {
 	s := fmt.Sprintf("%v seg=%d page=%d from=%d", m.Kind, m.Seg, m.Page, m.From)
 	switch m.Kind {
 	case KInval:
-		s += fmt.Sprintf(" mode=%v req=%d readers=%b upgrade=%v Δ=%v", m.Mode, m.Req, m.Readers, m.Upgrade, m.Delta)
+		s += fmt.Sprintf(" mode=%v req=%d readers=%v upgrade=%v Δ=%v", m.Mode, m.Req, m.Readers, m.Upgrade, m.Delta)
 	case KBusy:
 		s += fmt.Sprintf(" remaining=%v", m.Remaining)
 	case KPageSend:
 		s += fmt.Sprintf(" mode=%v Δ=%v bytes=%d", m.Mode, m.Delta, len(m.Data))
-	case KAddReader, KClockHandoff:
-		s += fmt.Sprintf(" readers=%b", m.Readers)
+	case KAddReader, KClockHandoff, KInvalFail:
+		s += fmt.Sprintf(" readers=%v", m.Readers)
 	}
 	return s
 }
 
-const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 // 71 bytes
+// Header layout (big-endian): kind u8, mode u8, upgrade u8, seg i32,
+// page i32, from i32, req i32, pid i32, delta i64, remaining i64,
+// seq u64, epoch u32, cycle u32, segepoch u32, copyset length u16,
+// data length u32 — followed by the variable-length copyset section
+// (see mmu.Copyset's wire form) and then the data bytes.
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 + 4 + 4 + 2 + 4 // 65 bytes
 
 // Errors returned by Decode.
 var (
-	ErrShort   = errors.New("wire: truncated message")
-	ErrBadKind = errors.New("wire: unknown message kind")
-	ErrBadLen  = errors.New("wire: implausible data length")
+	ErrShort      = errors.New("wire: truncated message")
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrBadLen     = errors.New("wire: implausible data length")
+	ErrBadCopyset = errors.New("wire: malformed copyset section")
 )
 
 // MaxData bounds the data field a decoder will accept (a page; the
@@ -263,14 +283,18 @@ var (
 // message is 1 KB — 64 KB is a generous safety bound).
 const MaxData = 64 * 1024
 
-// MaxFrame is the largest legal encoded message: a full header plus
-// MaxData bytes of page contents. Length-prefixed stream transports use
-// it as the corrupt-stream bound — any prefix beyond it cannot open a
-// real frame.
-const MaxFrame = headerLen + MaxData
+// MaxCopyset bounds the copyset section a decoder will accept: the
+// bitmap form covering every representable site.
+const MaxCopyset = mmu.MaxCopysetWireLen
+
+// MaxFrame is the largest legal encoded message: a full header plus a
+// maximal copyset plus MaxData bytes of page contents. Length-prefixed
+// stream transports use it as the corrupt-stream bound — any prefix
+// beyond it cannot open a real frame.
+const MaxFrame = headerLen + MaxCopyset + MaxData
 
 // EncodedLen returns the exact number of bytes Encode appends for m.
-func (m *Msg) EncodedLen() int { return headerLen + len(m.Data) }
+func (m *Msg) EncodedLen() int { return headerLen + m.Readers.WireLen() + len(m.Data) }
 
 // Encode appends the binary form of m to buf and returns the result.
 // m.Data is copied, never aliased: the caller keeps ownership of it.
@@ -286,15 +310,16 @@ func Encode(buf []byte, m *Msg) []byte {
 	binary.BigEndian.PutUint32(h[11:], uint32(m.From))
 	binary.BigEndian.PutUint32(h[15:], uint32(m.Req))
 	binary.BigEndian.PutUint32(h[19:], uint32(m.Pid))
-	binary.BigEndian.PutUint64(h[23:], m.Readers)
-	binary.BigEndian.PutUint64(h[31:], uint64(m.Delta))
-	binary.BigEndian.PutUint64(h[39:], uint64(m.Remaining))
-	binary.BigEndian.PutUint64(h[47:], m.Seq)
-	binary.BigEndian.PutUint32(h[55:], m.Epoch)
-	binary.BigEndian.PutUint32(h[59:], m.Cycle)
-	binary.BigEndian.PutUint32(h[63:], m.SegEpoch)
-	binary.BigEndian.PutUint32(h[67:], uint32(len(m.Data)))
+	binary.BigEndian.PutUint64(h[23:], uint64(m.Delta))
+	binary.BigEndian.PutUint64(h[31:], uint64(m.Remaining))
+	binary.BigEndian.PutUint64(h[39:], m.Seq)
+	binary.BigEndian.PutUint32(h[47:], m.Epoch)
+	binary.BigEndian.PutUint32(h[51:], m.Cycle)
+	binary.BigEndian.PutUint32(h[55:], m.SegEpoch)
+	binary.BigEndian.PutUint16(h[59:], uint16(m.Readers.WireLen()))
+	binary.BigEndian.PutUint32(h[61:], uint32(len(m.Data)))
 	buf = append(buf, h[:]...)
+	buf = m.Readers.AppendWire(buf)
 	return append(buf, m.Data...)
 }
 
@@ -343,7 +368,9 @@ func PutBuf(b *Buf) {
 // Decode parses one message from buf, returning the message and the
 // number of bytes consumed. Data is aliased into buf, not copied: a
 // caller that reuses buf (or returns it to a pool) while retaining the
-// message must replace Data with CloneData first.
+// message must replace Data with CloneData first. The copyset is
+// decoded into owned storage (inline-sized sets allocation-free), so
+// Readers never aliases buf.
 func Decode(buf []byte) (Msg, int, error) {
 	if len(buf) < headerLen {
 		return Msg{}, 0, ErrShort
@@ -360,24 +387,34 @@ func Decode(buf []byte) (Msg, int, error) {
 	m.From = int32(binary.BigEndian.Uint32(buf[11:]))
 	m.Req = int32(binary.BigEndian.Uint32(buf[15:]))
 	m.Pid = int32(binary.BigEndian.Uint32(buf[19:]))
-	m.Readers = binary.BigEndian.Uint64(buf[23:])
-	m.Delta = time.Duration(binary.BigEndian.Uint64(buf[31:]))
-	m.Remaining = time.Duration(binary.BigEndian.Uint64(buf[39:]))
-	m.Seq = binary.BigEndian.Uint64(buf[47:])
-	m.Epoch = binary.BigEndian.Uint32(buf[55:])
-	m.Cycle = binary.BigEndian.Uint32(buf[59:])
-	m.SegEpoch = binary.BigEndian.Uint32(buf[63:])
+	m.Delta = time.Duration(binary.BigEndian.Uint64(buf[23:]))
+	m.Remaining = time.Duration(binary.BigEndian.Uint64(buf[31:]))
+	m.Seq = binary.BigEndian.Uint64(buf[39:])
+	m.Epoch = binary.BigEndian.Uint32(buf[47:])
+	m.Cycle = binary.BigEndian.Uint32(buf[51:])
+	m.SegEpoch = binary.BigEndian.Uint32(buf[55:])
+	cs := int(binary.BigEndian.Uint16(buf[59:]))
+	if cs > MaxCopyset {
+		return Msg{}, 0, ErrBadCopyset
+	}
 	// Compare as uint32 before converting: the conversion can only
 	// produce a legal length, so no signedness branch is needed.
-	if binary.BigEndian.Uint32(buf[67:]) > MaxData {
+	if binary.BigEndian.Uint32(buf[61:]) > MaxData {
 		return Msg{}, 0, ErrBadLen
 	}
-	n := int(binary.BigEndian.Uint32(buf[67:]))
-	if len(buf) < headerLen+n {
+	n := int(binary.BigEndian.Uint32(buf[61:]))
+	if len(buf) < headerLen+cs+n {
 		return Msg{}, 0, ErrShort
 	}
-	if n > 0 {
-		m.Data = buf[headerLen : headerLen+n]
+	if cs > 0 {
+		var err error
+		m.Readers, err = mmu.DecodeCopysetWire(buf[headerLen : headerLen+cs])
+		if err != nil {
+			return Msg{}, 0, ErrBadCopyset
+		}
 	}
-	return m, headerLen + n, nil
+	if n > 0 {
+		m.Data = buf[headerLen+cs : headerLen+cs+n]
+	}
+	return m, headerLen + cs + n, nil
 }

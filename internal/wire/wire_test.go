@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"mirage/internal/mmu"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -19,7 +21,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Page:      17,
 		From:      1,
 		Req:       2,
-		Readers:   0b1011,
+		Readers:   mmu.CopysetOf(0, 1, 3),
 		Delta:     33 * time.Millisecond,
 		Remaining: 5 * time.Millisecond,
 		SegEpoch:  7,
@@ -104,6 +106,57 @@ func TestDecodeBadLength(t *testing.T) {
 	buf[headerLen-1] = 0xFF
 	if _, _, err := Decode(buf); !errors.Is(err, ErrBadLen) {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCopysetSectionRoundTrip(t *testing.T) {
+	big := mmu.Copyset{}
+	for s := 0; s < 1000; s++ {
+		big = big.Add(s)
+	}
+	for _, cs := range []mmu.Copyset{
+		{},
+		mmu.CopysetOf(5),
+		mmu.CopysetOf(1, 2, 3, 4, 5, 6),
+		mmu.CopysetOf(0, 1000, 65535),
+		big,
+	} {
+		m := Msg{Kind: KInvalOrder, Seg: 1, Page: 2, Readers: cs, Cycle: 9}
+		buf := Encode(nil, &m)
+		if len(buf) != m.EncodedLen() {
+			t.Fatalf("EncodedLen %d != encoded %d", m.EncodedLen(), len(buf))
+		}
+		got, n, err := Decode(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("decode: %v n=%d", err, n)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestDecodeBadCopyset(t *testing.T) {
+	m := Msg{Kind: KInvalOrder, Readers: mmu.CopysetOf(1, 2)}
+	buf := Encode(nil, &m)
+	// Corrupt the copyset tag byte.
+	buf[headerLen] = 7
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadCopyset) {
+		t.Fatalf("bad tag: err = %v", err)
+	}
+	// Oversized copyset-length field.
+	buf = Encode(nil, &m)
+	buf[headerLen-6] = 0xFF
+	buf[headerLen-5] = 0xFF
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadCopyset) {
+		t.Fatalf("oversized: err = %v", err)
+	}
+	// Copyset length that does not open a valid member list (odd bytes).
+	buf = Encode(nil, &m)
+	buf[headerLen-6] = 0
+	buf[headerLen-5] = 4 // claims 4 bytes: tag + 3 member bytes
+	if _, _, err := Decode(buf[:headerLen+4]); !errors.Is(err, ErrBadCopyset) {
+		t.Fatalf("odd list: err = %v", err)
 	}
 }
 
@@ -234,6 +287,18 @@ func TestMsgStringCoversKinds(t *testing.T) {
 	}
 }
 
+func randCopyset(rng *rand.Rand) mmu.Copyset {
+	var c mmu.Copyset
+	n := rng.Intn(12)
+	if rng.Intn(8) == 0 {
+		n = rng.Intn(2000) // occasionally a big spilled set
+	}
+	for ; n > 0; n-- {
+		c = c.Add(rng.Intn(mmu.MaxSites))
+	}
+	return c
+}
+
 func randMsg(rng *rand.Rand) Msg {
 	m := Msg{
 		Kind:      Kind(1 + rng.Intn(int(kindCount)-1)),
@@ -244,7 +309,7 @@ func randMsg(rng *rand.Rand) Msg {
 		From:      rng.Int31(),
 		Req:       rng.Int31(),
 		Pid:       rng.Int31(),
-		Readers:   rng.Uint64(),
+		Readers:   randCopyset(rng),
 		Delta:     time.Duration(rng.Int63n(1 << 40)),
 		Remaining: time.Duration(rng.Int63n(1 << 40)),
 		SegEpoch:  rng.Uint32(),
@@ -265,7 +330,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if n != headerLen+len(m.Data) {
+		if n != headerLen+m.Readers.WireLen()+len(m.Data) {
 			return false
 		}
 		if len(m.Data) == 0 {

@@ -41,9 +41,14 @@ import (
 	"mirage/internal/chaos"
 	"mirage/internal/core"
 	"mirage/internal/mem"
+	"mirage/internal/mmu"
 	"mirage/internal/obs"
 	"mirage/internal/vaxmodel"
 )
+
+// MaxSites is the largest cluster NewCluster accepts: the copyset
+// representation tracks at most this many sites per page.
+const MaxSites = mmu.MaxSites
 
 // Key names a segment cluster-wide (System V key_t).
 type Key = mem.Key
@@ -144,6 +149,10 @@ var (
 	// ErrNegativeDelta reports a rejected attempt to set a negative Δ
 	// window (Site.SetSegmentDelta).
 	ErrNegativeDelta = core.ErrNegativeDelta
+	// ErrTooManySites reports a cluster sized beyond MaxSites, the
+	// copyset capacity. Rejected explicitly — silently truncating the
+	// reader record would corrupt coherence.
+	ErrTooManySites = mmu.ErrTooManySites
 )
 
 // Re-exported registry errors, so callers can errors.Is against the
@@ -193,6 +202,11 @@ type Options struct {
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.
 	Chaos *FaultPlan
+	// InvalFanout, when ≥ 2, invalidates large reader sets through a
+	// k-ary fan-out tree (interior holder sites relay orders and return
+	// aggregated acks) instead of one unicast order per reader. The
+	// default (0) keeps the paper's flat unicast. See DESIGN.md §13.
+	InvalFanout int
 	// Obs, when non-nil, attaches an observability sink: protocol
 	// counters and latency histograms for every site, and — when the
 	// sink carries a tracer, as NewObs's does — a structured event

@@ -24,9 +24,15 @@ func TestClusterSizeValidation(t *testing.T) {
 	if _, err := NewCluster(0, Options{}); err == nil {
 		t.Fatal("size 0 should fail")
 	}
-	if _, err := NewCluster(65, Options{}); err == nil {
-		t.Fatal("size 65 should fail")
+	if _, err := NewCluster(MaxSites+1, Options{}); !errors.Is(err, ErrTooManySites) {
+		t.Fatalf("size %d: want ErrTooManySites, got %v", MaxSites+1, err)
 	}
+	// 65 sites used to be rejected; the copyset spill form lifted that.
+	c, err := NewCluster(65, Options{})
+	if err != nil {
+		t.Fatalf("size 65 should be accepted now: %v", err)
+	}
+	c.Close()
 }
 
 func TestLocalReadWrite(t *testing.T) {
