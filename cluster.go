@@ -53,6 +53,9 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 	if opts.Failover != nil && opts.Reliability == nil {
 		return nil, fmt.Errorf("mirage: Options.Failover requires Options.Reliability")
 	}
+	if opts.Placement != nil && opts.Failover == nil {
+		return nil, fmt.Errorf("mirage: Options.Placement requires Options.Failover")
+	}
 	if opts.DebugAddr != "" && opts.Obs == nil {
 		return nil, fmt.Errorf("mirage: Options.DebugAddr requires Options.Obs")
 	}
@@ -73,6 +76,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		Policy:      opts.Policy,
 		Costs:       &core.Costs{}, // live nodes run at native speed
 		Reliability: opts.Reliability,
+		Placement:   opts.Placement,
 		Obs:         opts.Obs,
 		InvalFanout: opts.InvalFanout,
 	}

@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/doccheck [dir ...]
+//	go run ./cmd/doccheck [-obs docs/OBSERVABILITY.md] [dir ...]
 //
 // With no arguments it checks the repository's public package (the
 // current directory). Exits non-zero listing every exported const, var,
 // type, function, method, and struct/interface field group that lacks
 // documentation. Test files and the blank-identifier idiom are ignored.
+//
+// -obs cross-checks an observability reference against the metric and
+// event vocabulary compiled into internal/obs, in both directions:
+// every name the doc's counter/histogram/event tables mention must
+// exist in the registry (the doc cannot drift ahead or misspell), and
+// every name the registry defines must appear somewhere in the doc (a
+// new counter cannot ship undocumented).
 package main
 
 import (
@@ -20,8 +27,11 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
+
+	"mirage/internal/obs"
 )
 
 func main() {
@@ -31,8 +41,21 @@ func main() {
 // run is the testable entry point: it checks each directory and writes
 // problems to stdout, returning the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
-	dirs := args
-	if len(dirs) == 0 {
+	var dirs []string
+	obsDoc := ""
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-obs" || args[i] == "--obs" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "doccheck: -obs needs a markdown file argument")
+				return 2
+			}
+			i++
+			obsDoc = args[i]
+			continue
+		}
+		dirs = append(dirs, args[i])
+	}
+	if len(dirs) == 0 && obsDoc == "" {
 		dirs = []string{"."}
 	}
 	var problems []string
@@ -44,15 +67,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		problems = append(problems, ps...)
 	}
+	if obsDoc != "" {
+		ps, err := checkObsNames(obsDoc)
+		if err != nil {
+			fmt.Fprintf(stderr, "doccheck: %v\n", err)
+			return 2
+		}
+		problems = append(problems, ps...)
+	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
 			fmt.Fprintln(stdout, p)
 		}
-		fmt.Fprintf(stderr, "doccheck: %d exported identifier(s) missing doc comments\n", len(problems))
+		fmt.Fprintf(stderr, "doccheck: %d problem(s)\n", len(problems))
 		return 1
 	}
 	return 0
+}
+
+// backticked matches `name` spans in markdown.
+var backticked = regexp.MustCompile("`([^`]+)`")
+
+// checkObsNames cross-checks the observability reference against
+// internal/obs. The doc's counter, histogram, and event tables are
+// recognized by their header's first column (`counter`, `histogram`,
+// `ev`); every backticked name in a recognized table's first column
+// must be a registered name of that kind. In the other direction,
+// every registered counter, histogram, and event name must be
+// mentioned (backticked) somewhere in the doc.
+func checkObsNames(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := string(data)
+
+	counters := map[string]bool{}
+	for _, c := range obs.Counters() {
+		counters[c.String()] = true
+	}
+	hists := map[string]bool{}
+	for _, h := range obs.Hists() {
+		hists[h.String()] = true
+	}
+	events := map[string]bool{}
+	for _, t := range obs.EvTypes() {
+		events[t.String()] = true
+	}
+	sets := map[string]map[string]bool{"counter": counters, "histogram": hists, "ev": events}
+
+	var problems []string
+	table := "" // first-column header of the table being scanned
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") {
+			table = ""
+			continue
+		}
+		cells := strings.Split(trimmed, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		first := strings.TrimSpace(cells[1])
+		if _, known := sets[first]; known {
+			table = first
+			continue
+		}
+		if table == "" || strings.Trim(first, "-: ") == "" {
+			continue // outside a recognized table, or the separator row
+		}
+		for _, m := range backticked.FindAllStringSubmatch(first, -1) {
+			if !sets[table][m[1]] {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s table documents %q, which internal/obs does not define", path, table, m[1]))
+			}
+		}
+	}
+
+	for kind, set := range sets {
+		for name := range set {
+			if !strings.Contains(doc, "`"+name+"`") {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s %q is defined in internal/obs but never documented", path, kind, name))
+			}
+		}
+	}
+	return problems, nil
 }
 
 func checkDir(dir string) ([]string, error) {

@@ -53,7 +53,7 @@ type AlsoMissing struct{}
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
 	}
-	if !strings.Contains(errb.String(), "3 exported identifier(s)") {
+	if !strings.Contains(errb.String(), "3 problem(s)") {
 		t.Errorf("stderr count wrong: %s", errb.String())
 	}
 }
@@ -71,5 +71,39 @@ func TestRepoPublicPackageIsDocumented(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"../.."}, &out, &errb); code != 0 {
 		t.Fatalf("public package has undocumented identifiers:\n%s%s", out.String(), errb.String())
+	}
+}
+
+// TestObsNamesRepoDocInSync is the other CI check: the observability
+// reference and internal/obs's compiled-in vocabulary must agree in
+// both directions.
+func TestObsNamesRepoDocInSync(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-obs", "../../docs/OBSERVABILITY.md"}, &out, &errb); code != 0 {
+		t.Fatalf("docs/OBSERVABILITY.md out of sync with internal/obs:\n%s%s", out.String(), errb.String())
+	}
+}
+
+// TestObsNamesCatchesDrift feeds the checker a doc that misspells one
+// counter and (being tiny) omits nearly everything: both directions
+// must fire.
+func TestObsNamesCatchesDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "OBS.md")
+	doc := "| counter | meaning |\n|---------|---------|\n| `read_faults` | fine |\n| `not_a_counter` | drifted |\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-obs", path}, &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"not_a_counter", which internal/obs does not define`) {
+		t.Errorf("misspelled counter not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "never documented") {
+		t.Errorf("undocumented names not flagged:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), `"read_faults", which`) {
+		t.Errorf("real counter wrongly flagged:\n%s", out.String())
 	}
 }

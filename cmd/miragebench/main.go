@@ -46,6 +46,13 @@
 // the public store API. All ladders are scored identically (knee rung,
 // first SLO-violating rung, liveness below the knee); -out records the
 // knee and the p99 at the last sustained rung per ladder.
+//
+// E21 prices voluntary library migration (Options.Placement): the
+// affinity workload runs skewed (every shard mis-homed for the whole
+// run) and shifting (matched at first, hotspot rotates at half-time),
+// each with placement off and on, and the shifting+on run is traced so
+// its voluntary handoffs — each an epoch bump mid-load — re-verify
+// through the coherence checker; -out records all four cells.
 package main
 
 import (
@@ -86,6 +93,18 @@ type benchRecord struct {
 	Micro       map[string]string `json:"microbench,omitempty"`
 	Service     *serviceRecord    `json:"service,omitempty"`
 	Scale       *scaleRecord      `json:"scale,omitempty"`
+	Migration   *migrationRecord  `json:"migration,omitempty"`
+}
+
+// migrationRecord is the E21 section of the -out record: the
+// scenario × placement grid plus the traced run's handoff count and
+// the determinism check.
+type migrationRecord struct {
+	Points          []exp.MigrationPoint `json:"points"`
+	TraceMigrations int                  `json:"trace_migrations"`
+	TraceEvents     int                  `json:"trace_events"`
+	TraceViolations int                  `json:"trace_violations"`
+	ReplayMatches   bool                 `json:"replay_matches"`
 }
 
 // scaleRecord is the E20 section of the -out record: the full
@@ -227,7 +246,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e20) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e21) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
@@ -700,6 +719,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		rec.Scale = &scaleRecord{Points: pts, Checked: checked}
 		fmt.Fprintln(stdout, "paper: §10.0 \"invalidations may become expensive\" — the fan-out tree caps the library's share at O(k)")
+	})
+
+	run("e21", "beyond the paper: voluntary library migration under skewed and shifting hotspots (E21)", func() {
+		cfg := exp.MigrationConfig{}
+		if *quick {
+			cfg.Duration = 4 * time.Second
+		}
+		r := exp.MigrationSweep(cfg)
+		t := stats.NewTable("scenario", "placement", "goodput", "p50", "p99", "errors", "migrations", "refused", "fenced")
+		for _, p := range r.Points {
+			placement := "off"
+			if p.Placement {
+				placement = "on"
+			}
+			t.Row(p.Scenario, placement, fmt.Sprintf("%.1f", p.Rung.Goodput),
+				time.Duration(p.Rung.Latency.P50), time.Duration(p.Rung.Latency.P99),
+				p.Rung.Errors, p.Migrations, p.Refused, p.StaleEpoch)
+		}
+		t.WriteTo(stdout)
+		r.WriteFindings(stdout)
+		if !r.ReplayMatches {
+			code = 1
+		}
+		// Re-verify the traced shifting+placement run: every voluntary
+		// handoff bumps the segment epoch mid-load, and the multi-epoch
+		// stream must still verify coherent.
+		hdr, events, err := obs.ReadJSONL(bytes.NewReader(r.TraceJSONL))
+		if err != nil {
+			fmt.Fprintf(stderr, "miragebench: reparse e21 trace: %v\n", err)
+			code = 1
+			return
+		}
+		viols := check.Verify(check.Config{Sites: hdr.Sites, Reliable: true}, events)
+		for _, v := range viols {
+			fmt.Fprintf(stdout, "violation (shifting+placement): %v\n", v)
+			code = 1
+		}
+		fmt.Fprintf(stdout, "traced shifting+placement run: %d events, %d voluntary handoffs, %d violations\n",
+			len(events), r.TraceMigrations, len(viols))
+		rec.Migration = &migrationRecord{
+			Points:          r.Points,
+			TraceMigrations: r.TraceMigrations,
+			TraceEvents:     len(events),
+			TraceViolations: len(viols),
+			ReplayMatches:   r.ReplayMatches,
+		}
+		fmt.Fprintln(stdout, "paper: the library site is fixed for a segment's lifetime — E21 lets it follow the demand and prices the win")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

@@ -10,6 +10,10 @@
 //	service  — the sharded session store under open-loop load (E19);
 //	           -rate and -skew set the offered load, and the per-shard
 //	           store counters join the stats tables and -runs digest
+//	affinity — the service store with every site's lanes favoring
+//	           shards whose libraries placement put one site over
+//	           (E21); with -migrate the libraries rehome themselves
+//	           to their dominant requesters mid-run
 //
 // Examples:
 //
@@ -23,6 +27,7 @@
 //	miragesim -workload counters -delta 600ms -check
 //	miragesim -workload readers -sites 3 -chaos "crash site=0 from=2s" -failover -check
 //	miragesim -workload service -sites 4 -rate 100 -skew zipf -dur 5s -metrics
+//	miragesim -workload affinity -sites 4 -rate 150 -dur 16s -migrate -check
 //
 // -trace writes the run's protocol event timeline in the schema-v1
 // JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
@@ -41,6 +46,12 @@
 // under a bumped library epoch. The flag implies the reliability
 // layer; the per-site failover/recovery/fencing counters are printed
 // after the run.
+//
+// -migrate additionally lets a library voluntarily rehome a segment to
+// the site that dominates its request demand (DESIGN.md §14,
+// docs/PLACEMENT.md), reusing the failover epoch fence for the
+// handoff. It implies -failover; the migrations/refused counters join
+// the failover table.
 //
 // -runs N executes the scenario N times concurrently (one virtual
 // cluster each) and verifies every run produced identical results —
@@ -85,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fs := flag.NewFlagSet("miragesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	workload := fs.String("workload", "pingpong", "pingpong | counters | readers | service")
+	workload := fs.String("workload", "pingpong", "pingpong | counters | readers | service | affinity")
 	delta := fs.Duration("delta", 0, "time window Δ")
 	dur := fs.Duration("dur", 10*time.Second, "virtual run length")
 	sites := fs.Int("sites", 2, "number of sites (readers and service workloads)")
@@ -99,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metrics := fs.Bool("metrics", false, "dump the observability metrics registry after the run")
 	chaosSpec := fs.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
 	failover := fs.Bool("failover", false, "elect a successor library when the library site fail-stops (implies the ARQ layer)")
+	migrate := fs.Bool("migrate", false, "let libraries voluntarily rehome hot segments to their dominant requester (implies -failover)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	runs := fs.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
 	checkRun := fs.Bool("check", false, "verify the run's trace against the coherence invariants; exit 1 on violation")
@@ -155,6 +167,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *rate <= 0 {
 			return fail("-rate must be positive")
 		}
+	case "affinity":
+		n = *sites
+		if n < 2 {
+			return fail("affinity needs at least 2 sites")
+		}
+		if *rate <= 0 {
+			return fail("-rate must be positive")
+		}
 	default:
 		return fail("unknown workload %q", *workload)
 	}
@@ -196,13 +216,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// A lossy fabric needs the ARQ layer; zero value = defaults.
 			opts.Reliability = &core.Reliability{}
 		}
-		if *failover {
+		if *failover || *migrate {
 			// Failover rides on the ARQ give-up verdict, so it implies
-			// the reliability layer even on a clean fabric.
+			// the reliability layer even on a clean fabric; migration
+			// rides on the failover epoch fence in turn.
 			if opts.Reliability == nil {
 				opts.Reliability = &core.Reliability{}
 			}
 			opts.Failover = &core.Failover{}
+		}
+		if *migrate {
+			opts.Placement = &core.Placement{}
+			if *workload == "affinity" {
+				// Fault-driven demand is far sparser than op-driven load;
+				// use the thresholds the E21 sweep runs with.
+				opts.Placement = exp.MigrationConfig{}.Policy()
+			}
 		}
 		c := ipc.NewCluster(n, ipc.Config{Delta: *delta, Engine: opts, Chaos: plan})
 		var headline string
@@ -222,6 +251,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			g := exp.RunService(c, cfg, *rate, svc, o)
 			headline = fmt.Sprintf("%.1f req/s goodput at %.0f offered; shed %d, p50 %v, p99 %v, liveness=%v",
 				g.Goodput, *rate, g.Shed, time.Duration(g.Latency.P50), time.Duration(g.Latency.P99), g.LivenessOK)
+		case "affinity":
+			cfg := exp.MigrationConfig{Sites: n, Duration: *dur, Rate: *rate}.WithDefaults()
+			svc = app.NewStats(cfg.Shards)
+			g := exp.RunAffinity(c, cfg, false, svc, o)
+			migs := 0
+			for i := 0; i < c.Sites(); i++ {
+				migs += c.Site(i).Eng.Stats().Migrations
+			}
+			headline = fmt.Sprintf("%.1f req/s goodput at %.0f offered; shed %d, p50 %v, p99 %v, %d voluntary migrations",
+				g.Goodput, *rate, g.Shed, time.Duration(g.Latency.P50), time.Duration(g.Latency.P99), migs)
 		}
 		return headline, c, o, svc
 	}
@@ -312,11 +351,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rt.WriteTo(stdout)
 	}
 
-	if *failover {
-		ft := stats.NewTable("site", "failovers", "recoveries", "stale-epoch fenced")
+	if *failover || *migrate {
+		ft := stats.NewTable("site", "failovers", "recoveries", "stale-epoch fenced", "migrations", "refused")
 		for i := 0; i < c.Sites(); i++ {
 			es := c.Site(i).Eng.Stats()
-			ft.Row(i, es.Failovers, es.Recoveries, es.StaleEpoch)
+			ft.Row(i, es.Failovers, es.Recoveries, es.StaleEpoch, es.Migrations, es.MigrationsRefused)
 		}
 		fmt.Fprintln(stdout)
 		ft.WriteTo(stdout)

@@ -89,7 +89,7 @@ func TestFailoverCheckedRun(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, stdout)
 		}
 	}
-	if !regexp.MustCompile(`(?m)^1\s+1\s+1\s+0$`).MatchString(stdout) {
+	if !regexp.MustCompile(`(?m)^1\s+1\s+1\s+0\s+0\s+0$`).MatchString(stdout) {
 		t.Errorf("site 1 should report one failover and one recovery:\n%s", stdout)
 	}
 }

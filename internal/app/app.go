@@ -4,9 +4,11 @@
 // The store is the workload the DSM design is ultimately judged by —
 // protocol microbenchmarks show Δ-window mechanics, but only a service
 // shows what they cost per request. Each shard is one segment; the
-// segment's library site (shard % sites, by convention) is that shard's
-// coherence manager, so sharding spreads the library role across the
-// cluster exactly as ROADMAP item 1's migration work will need.
+// segment's library site — picked by rendezvous hashing over (shard,
+// site), see Config.LibraryFor — is that shard's coherence manager, so
+// sharding spreads the library role across the cluster. Placement is
+// only the starting point: with voluntary migration enabled
+// (mirage.Options.Placement) a shard's library follows its demand.
 //
 // Layout: a shard segment begins with one header page (magic, geometry,
 // and the shard's writer lock byte), followed by a contiguous array of
@@ -106,7 +108,8 @@ type Config struct {
 	// Shards is the number of shard segments (default 8).
 	Shards int
 	// Sites is the cluster size; shard s's segment is created by (and
-	// so has its library at) site s % Sites (default 1).
+	// so has its library at) LibraryFor(s), the rendezvous-hash winner
+	// among the Sites (default 1).
 	Sites int
 	// PageSize is the coherence unit the cluster runs with (default
 	// 512, the paper's page size). SlotSize must divide it.
@@ -183,10 +186,26 @@ func (c Config) ShardBytes() int {
 }
 
 // LibraryFor returns the site that creates (and so serves as library
-// for) shard s under the store's placement convention.
+// for) shard s. Placement is rendezvous (highest-random-weight)
+// hashing: every site independently scores each (shard, site) pair and
+// the highest score wins, so the mapping is a pure function of the
+// Config — no ring state to agree on — and spreads shards uniformly.
+// Unlike the original shard%Sites convention, growing or shrinking the
+// cluster by one site remaps only the ~1/Sites of shards whose winner
+// changed; the rest keep their library, which keeps a resize from
+// stampeding every segment through failover or migration at once.
 func (c Config) LibraryFor(shard int) int {
 	c = c.WithDefaults()
-	return shard % c.Sites
+	best, bestScore := 0, uint64(0)
+	for s := 0; s < c.Sites; s++ {
+		var b [8]byte
+		putU32(b[:4], uint32(shard))
+		putU32(b[4:], uint32(s))
+		if score := fnv1a(b[:]); s == 0 || score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
 }
 
 // fnv1a is the 64-bit FNV-1a hash of key.

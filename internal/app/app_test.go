@@ -269,8 +269,48 @@ func TestShardSpread(t *testing.T) {
 			t.Fatalf("shard %d never chosen over 1000 keys", s)
 		}
 	}
-	if cfg.LibraryFor(0) != 0 || (Config{Shards: 8, Sites: 3}).LibraryFor(5) != 2 {
-		t.Fatal("LibraryFor placement convention changed")
+}
+
+func TestLibraryForRendezvous(t *testing.T) {
+	// Single site owns everything.
+	one := Config{Shards: 8, Sites: 1}
+	for s := 0; s < 8; s++ {
+		if one.LibraryFor(s) != 0 {
+			t.Fatalf("Sites=1: shard %d placed at %d", s, one.LibraryFor(s))
+		}
+	}
+	// Placement is deterministic, in range, and touches every site when
+	// shards comfortably outnumber sites.
+	cfg := Config{Shards: 64, Sites: 5}
+	used := map[int]int{}
+	for s := 0; s < 64; s++ {
+		lib := cfg.LibraryFor(s)
+		if lib < 0 || lib >= 5 {
+			t.Fatalf("shard %d placed at out-of-range site %d", s, lib)
+		}
+		if lib != cfg.LibraryFor(s) {
+			t.Fatalf("shard %d placement not deterministic", s)
+		}
+		used[lib]++
+	}
+	if len(used) != 5 {
+		t.Fatalf("64 shards over 5 sites used only sites %v", used)
+	}
+	// The rendezvous property: adding one site moves only the shards it
+	// wins. Everything that stays must keep its exact library.
+	grown := Config{Shards: 64, Sites: 6}
+	moved := 0
+	for s := 0; s < 64; s++ {
+		was, is := cfg.LibraryFor(s), grown.LibraryFor(s)
+		if was != is {
+			if is != 5 {
+				t.Fatalf("shard %d moved %d -> %d, not to the new site", s, was, is)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > 32 {
+		t.Fatalf("growing 5 -> 6 sites moved %d of 64 shards", moved)
 	}
 }
 

@@ -139,6 +139,8 @@ func (c *Checker) Feed(ev obs.Event) {
 		c.op(ev)
 	case obs.EvRecover:
 		c.recover(ev)
+	case obs.EvMigrate:
+		c.migrate(ev)
 	}
 }
 
@@ -161,6 +163,15 @@ func (c *Checker) recover(ev obs.Event) {
 		}
 	}
 }
+
+// migrate handles a voluntary library migration commit: ev.Site accepted
+// the library role from ev.Arg under a bumped epoch (ev.Epoch). Unlike a
+// crash recovery the old library is alive and every copy it granted stays
+// valid — the page record moved by exact transfer, not reconstruction —
+// so nothing is fenced. Grant cycles under the new epoch are serialized
+// against the old epoch's by the per-epoch keying of openCycle, lastStart
+// and the install maps, which Feed already applies to every event.
+func (c *Checker) migrate(ev obs.Event) {}
 
 // windowCheck fires when possession at the believed clock site ends at
 // instant t while its granted window is still running.

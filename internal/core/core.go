@@ -138,6 +138,12 @@ type Options struct {
 	// successor, which rebuilds the record from surviving holders under
 	// a bumped library epoch. Requires Reliability.
 	Failover *Failover
+	// Placement, when non-nil, enables voluntary library migration
+	// (DESIGN.md §14): the library watches per-site request demand and
+	// rehomes the library role to a remote site that dominates it, using
+	// the failover epoch fence for the handoff. Requires Failover (and
+	// therefore Reliability).
+	Placement *Placement
 	// TuneDelta, if non-nil, may return a new Δ for a page each time
 	// the library is about to grant it. Mirage ships the routine
 	// disabled (nil), as the paper does.
@@ -190,6 +196,10 @@ type Stats struct {
 	Failovers  int // takeover triggers sent after losing the library
 	Recoveries int // library takeovers completed at this site
 	StaleEpoch int // messages rejected for carrying a superseded epoch
+
+	// Placement counters; all zero unless Options.Placement is set.
+	Migrations        int // library roles accepted here via voluntary migration
+	MigrationsRefused int // outbound offers refused, aborted, or superseded
 }
 
 type pageKey struct {
@@ -230,6 +240,14 @@ type segNode struct {
 	// meanwhile.
 	releasing       bool
 	releasesPending int
+
+	// Voluntary-migration state (Options.Placement): place is the
+	// library's demand window for the placement policy, migOut the
+	// in-flight outbound offer (its presence freezes granting), migIn
+	// the successor's accumulator for an incoming offer's record chunks.
+	place  *placeTrack
+	migOut *migration
+	migIn  *migInbound
 
 	// Degraded-grant state (reliability layer only).
 	pageErr  map[int32]error  // page -> pending error for the accessor
@@ -395,11 +413,8 @@ func (e *Engine) DestroySegment(id int32) {
 		return
 	}
 	delete(e.segs, id)
-	for p, ws := range sn.waiters {
-		for _, w := range ws {
-			w.wake()
-		}
-		delete(sn.waiters, p)
+	for p := int32(0); p < int32(sn.m.Pages()); p++ {
+		e.wakeWaiters(sn, p)
 	}
 	for _, cancel := range sn.reqTimer {
 		cancel()
@@ -582,6 +597,12 @@ func (e *Engine) handle(m *wire.Msg) {
 			})
 			return
 		}
+		if e.opt.Failover != nil && m.Kind == wire.KMigrate && int(m.From) != e.site {
+			// Never attached: cannot host the library role. Refuse so the
+			// offering library resumes instead of waiting out its timeout.
+			e.send(int(m.From), &wire.Msg{Kind: wire.KMigrateAck, Seg: m.Seg, Page: -1})
+			return
+		}
 		e.stats.Dropped++
 		return
 	}
@@ -591,6 +612,16 @@ func (e *Engine) handle(m *wire.Msg) {
 	}
 	if m.Kind == wire.KRecoverReply {
 		e.handleRecoverReply(sn, m)
+		return
+	}
+	// Migration traffic resolves epoch skew itself (like KRecover), so it
+	// dispatches ahead of the generic fence.
+	if m.Kind == wire.KMigrate {
+		e.handleMigrate(sn, m)
+		return
+	}
+	if m.Kind == wire.KMigrateAck {
+		e.handleMigrateAck(sn, m)
 		return
 	}
 	if e.opt.Failover != nil && int(m.From) != e.site {

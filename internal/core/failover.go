@@ -131,13 +131,36 @@ func (e *Engine) handleRecover(sn *segNode, m *wire.Msg) {
 	case m.SegEpoch > sn.segEpoch:
 		e.adoptEpoch(sn, m.SegEpoch, int(m.Req))
 		e.sendHoldings(sn)
-	case m.SegEpoch == sn.segEpoch && int(m.Req) == e.site:
+	case m.SegEpoch == sn.segEpoch && int(m.Req) == e.site && !m.Readers.Empty():
+		// Takeover trigger: only triggerFailover stamps the tried mask,
+		// so an empty Readers cannot nominate a successor. Identity
+		// notices (staleEpoch, migration redirects) reuse KRecover with
+		// Req naming the library the sender knows — if that happens to be
+		// the receiver, treating it as a trigger would launch a crash
+		// recovery against a live library.
 		e.beginRecovery(sn)
 	case m.SegEpoch == sn.segEpoch:
-		// A query that raced another new-epoch message which already
-		// moved us forward: (re-)report. Reports merge idempotently.
-		if int(m.From) == sn.curLib {
+		switch {
+		case int(m.Req) == e.site:
+			// An identity notice naming this site. If we hold the role,
+			// there is nothing to learn; if we do not, the sender's belief
+			// and ours are both stale — drop it and let the requester-side
+			// timeout backstop resolve the page.
+		case int(m.From) != sn.curLib:
+			// Stale chatter from a site this epoch already left behind.
+		case int(m.Req) == int(m.From):
+			// A query that raced another new-epoch message which already
+			// moved us forward: (re-)report. Reports merge idempotently.
 			e.sendHoldings(sn)
+		case int(m.Req) != e.site:
+			// Same-epoch identity correction: the site this site still
+			// addresses as library says the role lives at Req. Happens
+			// when the epoch was adopted blind (adoptAhead learns the
+			// number, not the identity) after a voluntary migration, which
+			// broadcasts nothing. Re-aim outstanding requests at the
+			// successor the deposed library names.
+			sn.curLib = int(m.Req)
+			e.reaimRequests(sn)
 		}
 	default:
 		e.markStale() // trigger or notice from a superseded epoch
@@ -261,8 +284,8 @@ func (e *Engine) finishRecovery(sn *segNode) {
 		e.handleLibrary(sn, m)
 	}
 	rc.buffered = nil
-	for page := range sn.waiters {
-		e.wakeWaiters(sn, page)
+	for p := int32(0); p < int32(sn.m.Pages()); p++ {
+		e.wakeWaiters(sn, p)
 	}
 }
 
@@ -336,12 +359,16 @@ func (e *Engine) adoptEpoch(sn *segNode, epoch uint32, newLib int) {
 		}
 		sn.recov = nil
 	}
-	for k, pi := range e.pend {
-		if k.seg == seg {
-			delete(e.pend, k)
-			e.rollbackPend(sn, k.page, pi)
+	if sn.migOut != nil {
+		// An outbound migration offer superseded by a higher epoch (or
+		// committed by the ack that called us): moot either way.
+		if sn.migOut.cancel != nil {
+			sn.migOut.cancel()
 		}
+		sn.migOut = nil
 	}
+	sn.migIn = nil
+	e.rollbackSegPend(sn, seg)
 	// Delegated inval subtrees are dead with their epoch: the parent
 	// resolves them through its own epoch handling, and answering it
 	// from the old epoch would be fenced anyway.
@@ -355,9 +382,57 @@ func (e *Engine) adoptEpoch(sn *segNode, epoch uint32, newLib int) {
 			delete(e.stash, k)
 		}
 	}
+	if sn.releasing {
+		// In-flight releases died with the old epoch (their eventual
+		// give-up is fenced by the epoch guard in deliveryFailed, and a
+		// deposed library dropped any it had queued): re-issue against
+		// the current library for every frame still held, so the detach
+		// can complete instead of waiting on confirmations that will
+		// never come.
+		sn.releasesPending = 0
+		for p := 0; p < sn.m.Pages(); p++ {
+			if !sn.m.Present(p) {
+				continue
+			}
+			sn.releasesPending++
+			kind := wire.KReleaseRead
+			if sn.m.Prot(p) == mmu.ReadWrite {
+				kind = wire.KReleaseWrite
+			}
+			e.send(sn.curLib, &wire.Msg{
+				Kind: kind, Seg: seg, Page: int32(p),
+				Data: append([]byte(nil), sn.m.Frame(p)...),
+			})
+		}
+		if sn.releasesPending == 0 {
+			sn.releasing = false
+		}
+	}
+	e.reaimRequests(sn)
+}
+
+// rollbackSegPend rolls back every clock-side pending invalidation of
+// the segment, in page order so the emitted page-state events (and any
+// sim work they schedule) land identically across replays.
+func (e *Engine) rollbackSegPend(sn *segNode, seg int32) {
+	for p := int32(0); p < int32(sn.m.Pages()); p++ {
+		k := pageKey{seg: seg, page: p}
+		if pi, ok := e.pend[k]; ok {
+			delete(e.pend, k)
+			e.rollbackPend(sn, p, pi)
+		}
+	}
+}
+
+// reaimRequests drops the segment's outstanding-request state and wakes
+// every blocked fault so it re-issues against the current library. The
+// waiters are woken in page order: map order would reorder the re-sent
+// requests between otherwise identical runs and break replay
+// determinism.
+func (e *Engine) reaimRequests(sn *segNode) {
 	e.forgetRequests(sn)
-	for page := range sn.waiters {
-		e.wakeWaiters(sn, page)
+	for p := int32(0); p < int32(sn.m.Pages()); p++ {
+		e.wakeWaiters(sn, p)
 	}
 }
 

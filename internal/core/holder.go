@@ -219,8 +219,16 @@ func (e *Engine) acceptInval(sn *segNode, m *wire.Msg) {
 		sn.m.Downgrade(p, now)
 		e.stats.Downgrades++
 		e.obs.Count(e.site, obs.CDowngrade)
-		e.emit(obs.Event{Type: obs.EvDowngrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
-		e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 1})
+		if !sn.releasing {
+			// Mid-release the surrender was already traced when the copy
+			// shipped home; the frame survives only to serve this cycle
+			// (local access faults until release-done frees it). Once the
+			// library drains the queued release it stops invalidating this
+			// site, so tracing a retained read copy here would leave a
+			// phantom holder coexisting with later writers.
+			e.emit(obs.Event{Type: obs.EvDowngrade, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle})
+			e.emit(obs.Event{Type: obs.EvPageState, Seg: m.Seg, Page: m.Page, Arg: 1})
+		}
 		a.Writer = mmu.NoWriter
 		a.Window = m.Delta
 		a.ReaderMask = mmu.CopysetOf(e.site).Union(m.Readers)

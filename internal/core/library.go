@@ -149,9 +149,18 @@ func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) error {
 func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 	if sn.lib == nil {
 		if e.opt.Failover != nil {
-			// A requester addressed us as library before our takeover
-			// (or after our deposition) — epoch races make this
-			// reachable; its retry finds the right site.
+			// A requester addressed us as library at the current epoch but
+			// the role lives elsewhere. Reachable when the sender adopted
+			// the epoch from a message that does not name the library
+			// (adoptAhead keeps its stale belief) — after a voluntary
+			// migration nobody broadcasts the new identity, so a silent
+			// drop would strand the request until the RequestTimeout
+			// backstop. Redirect to this site's own belief; chained
+			// handoffs resolve hop by hop, each under a fresh notice.
+			if sn.curLib != e.site {
+				e.staleEpoch(sn, m)
+				return
+			}
 			e.markStale()
 			return
 		}
@@ -178,6 +187,10 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 		}
 		p.requests++
 		p.lastReq = now
+		// Feed the placement policy before queueing: if a migration
+		// starts here the request joins the frozen queue and is re-aimed
+		// at the successor when the handoff commits.
+		e.noteDemand(sn, int(m.From))
 		kind := reqRead
 		if write {
 			kind = reqWrite
@@ -250,6 +263,12 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 // sequentially; all queued read requests are batched and granted
 // together (§6.1).
 func (e *Engine) libProcess(sn *segNode, page int32) {
+	if sn.migOut != nil {
+		// Frozen for an in-flight migration offer: queued requests are
+		// either re-aimed at the successor (handoff commits) or served
+		// when the offer aborts and libProcess re-runs.
+		return
+	}
 	lib := sn.lib
 	p := &lib.pages[page]
 	for !p.busy && len(p.queue) > 0 {

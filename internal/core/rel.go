@@ -327,7 +327,21 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 		}
 		e.stats.Dropped++
 
+	case wire.KMigrate:
+		// The migration offer could not reach the successor. The final
+		// chunk is abandoned with the rest of the circuit, so the
+		// successor can never install the role: resume as library under
+		// the unchanged epoch.
+		e.abortMigration(sn, false)
+
 	case wire.KReleaseRead, wire.KReleaseWrite:
+		if e.opt.Failover != nil && m.SegEpoch != sn.segEpoch {
+			// A release conceived under a superseded epoch: adoptEpoch
+			// already re-issued it against the current library and reset
+			// the pending count, so this give-up must not decrement it.
+			e.stats.Dropped++
+			return
+		}
 		// The library never heard the release; keep the copy and stop
 		// waiting so local accesses work again.
 		if sn.releasesPending > 0 {
@@ -554,6 +568,15 @@ func (e *Engine) libDeny(sn *segNode, page int32, site int, mode wire.Mode, drop
 // accepted so the library can rehome the page.
 func (e *Engine) handleGrantFail(sn *segNode, m *wire.Msg) {
 	if sn.lib == nil {
+		if sn.curLib == e.site {
+			// Mid-recovery (the role is claimed but the record is not
+			// rebuilt yet) the failed cycle belongs to the old record and
+			// cannot be matched after the rebuild; forwarding would loop
+			// the message back here at zero cost. Drop it — the denied
+			// requester's timeout backstop re-drives the page.
+			e.markStale()
+			return
+		}
 		fwd := *m
 		fwd.Data = e.stash[pageKey{m.Seg, m.Page}]
 		e.send(sn.curLib, &fwd)

@@ -68,52 +68,57 @@ const (
 	CInvalFanout
 	CRelay
 	CWireByte
+	// Placement layer: voluntary library migration.
+	CMigration
+	CMigrationRefused
 
 	counterCount
 )
 
 var counterNames = [...]string{
-	CReadFault:      "read_faults",
-	CWriteFault:     "write_faults",
-	CMsgSent:        "msgs_sent",
-	CMsgRecv:        "msgs_recv",
-	CPageSent:       "pages_sent",
-	CPageRecv:       "pages_recv",
-	CGrantCycle:     "grant_cycles",
-	CInvalSent:      "invals_sent",
-	CInvalAcked:     "invals_acked",
-	CUpgrade:        "upgrades",
-	CDowngrade:      "downgrades",
-	CDeltaDenial:    "delta_denials",
-	CRetry:          "retries",
-	CAlready:        "already_held",
-	CRetransmit:     "retransmits",
-	CDupDrop:        "dup_drops",
-	CGaveUp:         "gave_up",
-	CDenied:         "denied",
-	CDegraded:       "degraded",
-	CStale:          "stale",
-	CLost:           "lost",
-	CFailover:       "failovers",
-	CRecovery:       "recoveries",
-	CStaleEpoch:     "stale_epoch",
-	CChaosDrop:      "chaos_drops",
-	CChaosDup:       "chaos_dups",
-	CChaosDelay:     "chaos_delays",
-	CChaosPartition: "chaos_partitioned",
-	CChaosCrash:     "chaos_crashed",
-	CFlushBatch:     "flush_batches",
-	CFlushFrame:     "flush_frames",
-	CFlushByte:      "flush_bytes",
-	CNetDelivered:   "net_delivered",
-	CNetByte:        "net_bytes",
-	CAppOp:          "app_ops",
-	CAppHit:         "app_hits",
-	CAppMiss:        "app_misses",
-	CAppConflict:    "app_conflicts",
-	CInvalFanout:    "inval_fanout",
-	CRelay:          "relays",
-	CWireByte:       "wire_bytes",
+	CReadFault:        "read_faults",
+	CWriteFault:       "write_faults",
+	CMsgSent:          "msgs_sent",
+	CMsgRecv:          "msgs_recv",
+	CPageSent:         "pages_sent",
+	CPageRecv:         "pages_recv",
+	CGrantCycle:       "grant_cycles",
+	CInvalSent:        "invals_sent",
+	CInvalAcked:       "invals_acked",
+	CUpgrade:          "upgrades",
+	CDowngrade:        "downgrades",
+	CDeltaDenial:      "delta_denials",
+	CRetry:            "retries",
+	CAlready:          "already_held",
+	CRetransmit:       "retransmits",
+	CDupDrop:          "dup_drops",
+	CGaveUp:           "gave_up",
+	CDenied:           "denied",
+	CDegraded:         "degraded",
+	CStale:            "stale",
+	CLost:             "lost",
+	CFailover:         "failovers",
+	CRecovery:         "recoveries",
+	CStaleEpoch:       "stale_epoch",
+	CChaosDrop:        "chaos_drops",
+	CChaosDup:         "chaos_dups",
+	CChaosDelay:       "chaos_delays",
+	CChaosPartition:   "chaos_partitioned",
+	CChaosCrash:       "chaos_crashed",
+	CFlushBatch:       "flush_batches",
+	CFlushFrame:       "flush_frames",
+	CFlushByte:        "flush_bytes",
+	CNetDelivered:     "net_delivered",
+	CNetByte:          "net_bytes",
+	CAppOp:            "app_ops",
+	CAppHit:           "app_hits",
+	CAppMiss:          "app_misses",
+	CAppConflict:      "app_conflicts",
+	CInvalFanout:      "inval_fanout",
+	CRelay:            "relays",
+	CWireByte:         "wire_bytes",
+	CMigration:        "migrations",
+	CMigrationRefused: "refused_migrations",
 }
 
 func (c Counter) String() string {
@@ -128,6 +133,15 @@ func Counters() []Counter {
 	out := make([]Counter, counterCount)
 	for i := range out {
 		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Hists lists every histogram id in declaration order.
+func Hists() []HistID {
+	out := make([]HistID, histCount)
+	for i := range out {
+		out[i] = HistID(i)
 	}
 	return out
 }
@@ -173,6 +187,9 @@ const (
 	// HAppOpLatency: application store operation latency (ns), from op
 	// entry to completion including any DSM faults and lock waits.
 	HAppOpLatency
+	// HMigrateLatency: voluntary migration duration (ns), from the old
+	// library freezing the segment to the successor's ack deposing it.
+	HMigrateLatency
 
 	histCount
 )
@@ -184,6 +201,7 @@ var histNames = [...]string{
 	HFlushBytes:      "flush_bytes_per_batch",
 	HRecoverLatency:  "recover_latency_ns",
 	HAppOpLatency:    "app_op_latency_ns",
+	HMigrateLatency:  "migrate_latency_ns",
 }
 
 func (h HistID) String() string {
@@ -206,6 +224,7 @@ var histLow = [histCount]int64{
 	HFlushBytes:      1,
 	HRecoverLatency:  int64(time.Millisecond),
 	HAppOpLatency:    int64(time.Microsecond),
+	HMigrateLatency:  int64(time.Millisecond),
 }
 
 // NewHist returns a standalone histogram whose lowest bucket bound is

@@ -105,6 +105,12 @@ const (
 	// its parent (From) one aggregated ack (Arg: subtree size excluding
 	// this site).
 	EvRelay
+	// EvMigrate is a successor completing a voluntary library migration
+	// for a segment: its Epoch field is the new library epoch, Arg the
+	// site id of the old library that handed the role over. Emitted once
+	// per migration at the new library site. Unlike EvRecover the old
+	// library is alive and its copies stay valid.
+	EvMigrate
 
 	evTypeCount
 )
@@ -138,6 +144,7 @@ var evNames = [...]string{
 	EvRecover:     "recover",
 	EvInvalFanout: "inval-fanout",
 	EvRelay:       "relay",
+	EvMigrate:     "migrate",
 }
 
 func (t EvType) String() string {
@@ -145,6 +152,16 @@ func (t EvType) String() string {
 		return evNames[t]
 	}
 	return "invalid"
+}
+
+// EvTypes lists every real event type (EvInvalid excluded) in
+// declaration order.
+func EvTypes() []EvType {
+	out := make([]EvType, 0, evTypeCount-1)
+	for t := EvInvalid + 1; t < evTypeCount; t++ {
+		out = append(out, t)
+	}
+	return out
 }
 
 // ParseEvType resolves an event type's String() name back to its value.

@@ -84,6 +84,13 @@ type Kernel struct {
 	running bool
 	procs   int // live processes (diagnostic)
 
+	// sameInstant counts consecutively executed events that did not
+	// advance the clock. A zero-cost event cycle (A schedules B at the
+	// same instant, B schedules A, ...) would otherwise spin the real
+	// CPU forever while virtual time stands still; the guard turns that
+	// silent hang into a diagnosable panic.
+	sameInstant int
+
 	choose Chooser // nil: FIFO among same-instant events
 	ready  []*event
 }
@@ -165,6 +172,17 @@ func (k *Kernel) Step() bool {
 		}
 		if k.choose != nil {
 			e = k.stepChoice(e)
+		}
+		if e.at == k.now {
+			k.sameInstant++
+			// Far beyond any legitimate same-instant burst (bounded by
+			// sites × pages × processes), yet cheap to hit quickly when a
+			// model bug schedules work in a zero-cost cycle.
+			if k.sameInstant > 1<<21 {
+				panic(fmt.Sprintf("sim: livelock: %d events executed at %v without advancing the clock", k.sameInstant, k.now))
+			}
+		} else {
+			k.sameInstant = 0
 		}
 		k.now = e.at
 		fn := e.fn

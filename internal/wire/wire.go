@@ -116,6 +116,18 @@ const (
 	// confirm (relay -> parent). Readers is the failed set; the clock
 	// aborts the cycle exactly as if it had lost a direct reader.
 	KInvalFail
+	// KMigrate offers the segment's library role to a successor site
+	// (current library -> successor). Data carries the library's page
+	// records as 5-byte holdings records (same shape as KRecoverReply);
+	// Upgrade marks the final chunk, and the final chunk's SegEpoch is
+	// the epoch the successor must exceed when it installs. Unlike
+	// KRecover the records are transferred, not reconstructed.
+	KMigrate
+	// KMigrateAck confirms (Page >= 0) or refuses (Page == -1) a
+	// migration offer (successor -> old library). On acceptance SegEpoch
+	// carries the successor's new, higher epoch; the old library deposes
+	// itself and converts its frozen queue into epoch notices.
+	KMigrateAck
 
 	kindCount
 )
@@ -143,6 +155,8 @@ var kindNames = [...]string{
 	KRecover:      "recover",
 	KRecoverReply: "recover-reply",
 	KInvalFail:    "inval-fail",
+	KMigrate:      "migrate",
+	KMigrateAck:   "migrate-ack",
 }
 
 // ParseKind resolves a kind's String() name back to its value; the

@@ -97,6 +97,18 @@ type Reliability = core.Reliability
 // bound on waiting for holder reports) defaults per core.Failover.
 type Failover = core.Failover
 
+// Placement configures voluntary library migration: each library site
+// tracks per-segment request demand in sliding windows and, when a
+// remote site dominates a window (and the runner-up is far enough
+// behind that the traffic is not ping-pong write sharing), hands the
+// library role to it using the same epoch-fenced handoff machinery as
+// failover — but with the page records transferred exactly instead of
+// reconstructed, since the outgoing library is alive and quiescent.
+// Requires Options.Failover (and therefore Reliability). The zero
+// value takes the defaults documented on core.Placement; see
+// docs/PLACEMENT.md for the protocol and policy guidance.
+type Placement = core.Placement
+
 // FaultPlan is a deterministic, seeded fault-injection plan applied to
 // the cluster's transport fabric (drops, duplicates, delays, reorders,
 // partitions, crash windows). Build one with ParseFaultPlan or
@@ -198,6 +210,11 @@ type Options struct {
 	// a successor that rebuilds the page records from surviving
 	// holders. Requires Reliability. &Failover{} takes the defaults.
 	Failover *Failover
+	// Placement, when non-nil, enables voluntary library migration on
+	// top of failover: a segment's library follows its demand, rehoming
+	// itself to a site that dominates the request stream. Requires
+	// Failover. &Placement{} takes the defaults.
+	Placement *Placement
 	// Chaos, when non-nil, injects faults into the transport fabric per
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.

@@ -59,7 +59,8 @@ var (
 const StoreKeyBase Key = 0x4B56 // "KV"
 
 // OpenStores creates, formats, and opens the store cluster-wide: each
-// shard segment is created at its library site (shard % sites), then
+// shard segment is created at its library site (the rendezvous-hash
+// winner, StoreConfig.LibraryFor), then
 // every site attaches all shards and builds its frontend. The returned
 // slice has one Store per site, in site order. Each frontend has its
 // own StoreStats; the cluster's Obs (when configured) receives app_ops
