@@ -47,6 +47,15 @@
 // first SLO-violating rung, liveness below the knee); -out records the
 // knee and the p99 at the last sustained rung per ladder.
 //
+// E22 prices consensus-replicated library records
+// (Options.Replication): a replication-factor × failure-mode grid over
+// a contended counter workload measures the standby cost of quorum
+// gating while nothing fails, the takeover latency of the log election
+// against E18's holder rebuild (isolated and correlated crashes), and
+// the degraded and fallback modes. Every point's trace — including the
+// replication invariants — re-verifies through the coherence checker;
+// -out records the full grid.
+//
 // E21 prices voluntary library migration (Options.Placement): the
 // affinity workload runs skewed (every shard mis-homed for the whole
 // run) and shifting (matched at first, hotspot rotates at half-time),
@@ -83,17 +92,26 @@ import (
 // benchRecord is the -out JSON shape: enough to compare data-path and
 // harness performance across commits.
 type benchRecord struct {
-	GOOS        string            `json:"goos"`
-	GOARCH      string            `json:"goarch"`
-	CPUs        int               `json:"cpus"`
-	Parallelism int               `json:"parallelism"` // 0 = GOMAXPROCS
-	Quick       bool              `json:"quick"`
-	Experiments []experimentWall  `json:"experiments"`
-	TotalWallS  float64           `json:"total_wall_seconds"`
-	Micro       map[string]string `json:"microbench,omitempty"`
-	Service     *serviceRecord    `json:"service,omitempty"`
-	Scale       *scaleRecord      `json:"scale,omitempty"`
-	Migration   *migrationRecord  `json:"migration,omitempty"`
+	GOOS        string             `json:"goos"`
+	GOARCH      string             `json:"goarch"`
+	CPUs        int                `json:"cpus"`
+	Parallelism int                `json:"parallelism"` // 0 = GOMAXPROCS
+	Quick       bool               `json:"quick"`
+	Experiments []experimentWall   `json:"experiments"`
+	TotalWallS  float64            `json:"total_wall_seconds"`
+	Micro       map[string]string  `json:"microbench,omitempty"`
+	Service     *serviceRecord     `json:"service,omitempty"`
+	Scale       *scaleRecord       `json:"scale,omitempty"`
+	Migration   *migrationRecord   `json:"migration,omitempty"`
+	Replication *replicationRecord `json:"replication,omitempty"`
+}
+
+// replicationRecord is the E22 section of the -out record: the
+// replication-factor × failure-mode grid (traces omitted) plus the
+// determinism check.
+type replicationRecord struct {
+	Points        []exp.ReplicationPoint `json:"points"`
+	ReplayMatches bool                   `json:"replay_matches"`
 }
 
 // migrationRecord is the E21 section of the -out record: the
@@ -246,7 +264,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e21) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e22) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
@@ -766,6 +784,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ReplayMatches:   r.ReplayMatches,
 		}
 		fmt.Fprintln(stdout, "paper: the library site is fixed for a segment's lifetime — E21 lets it follow the demand and prices the win")
+	})
+
+	run("e22", "beyond the paper: consensus-replicated library records (E22)", func() {
+		perSite := 20
+		if *quick {
+			perSite = 8
+		}
+		r := exp.ReplicationSweep(perSite)
+		t := stats.NewTable("scenario", "R", "completed", "elapsed", "appends", "commits", "degraded",
+			"elections", "recoveries", "recovery", "unavail", "events", "violations")
+		for _, p := range r.Points {
+			recLat := "-"
+			if len(p.RecoverLatency) > 0 {
+				var max time.Duration
+				for _, d := range p.RecoverLatency {
+					if d > max {
+						max = d
+					}
+				}
+				recLat = max.Round(time.Millisecond).String()
+			}
+			rep := "off"
+			if p.Replicas > 0 {
+				rep = fmt.Sprintf("%d", p.Replicas)
+			}
+			t.Row(p.Name, rep, p.Completed, p.Elapsed.Round(time.Millisecond),
+				p.Appends, p.Commits, p.Degraded, p.Elections, p.Recoveries,
+				recLat, fmt.Sprintf("%.0fms", p.UnavailMs), p.Events, p.Violations)
+			if !p.Completed || p.Violations > 0 {
+				code = 1
+			}
+		}
+		t.WriteTo(stdout)
+		fmt.Fprintf(stdout, "same-seed replay identical: %v\n", r.ReplayMatches)
+		if !r.ReplayMatches {
+			code = 1
+		}
+		// The -out record keeps the grid numbers; the per-point traces
+		// (verified above) would bloat it hundredfold.
+		pts := make([]exp.ReplicationPoint, len(r.Points))
+		copy(pts, r.Points)
+		for i := range pts {
+			pts[i].TraceJSONL = nil
+		}
+		rec.Replication = &replicationRecord{Points: pts, ReplayMatches: r.ReplayMatches}
+		fmt.Fprintln(stdout, "paper: §10.0 tolerates no site failures; E18 rebuilt records reactively — E22 replicates them ahead of the crash and prices both sides")
 	})
 
 	run("e11", "§6.2 lazy remap cost", func() {

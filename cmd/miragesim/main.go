@@ -26,6 +26,7 @@
 //	miragesim -workload counters -delta 600ms -runs 8
 //	miragesim -workload counters -delta 600ms -check
 //	miragesim -workload readers -sites 3 -chaos "crash site=0 from=2s" -failover -check
+//	miragesim -workload readers -sites 4 -replicas 2 -chaos "crash site=0 from=2s" -check
 //	miragesim -workload service -sites 4 -rate 100 -skew zipf -dur 5s -metrics
 //	miragesim -workload affinity -sites 4 -rate 150 -dur 16s -migrate -check
 //
@@ -46,6 +47,15 @@
 // under a bumped library epoch. The flag implies the reliability
 // layer; the per-site failover/recovery/fencing counters are printed
 // after the run.
+//
+// -replicas R replicates each segment's library record to the R sites
+// after the library in ID order (DESIGN.md §15, docs/REPLICATION.md):
+// every record mutation is mirrored to a follower quorum before it is
+// acknowledged, so when a chaos plan fail-stops the library the
+// successor is elected from the replication group and installs from
+// its log tail — no holder interrogation, no recovery pause. The flag
+// implies -failover; the append/commit/degraded/election counters join
+// the failover table.
 //
 // -migrate additionally lets a library voluntarily rehome a segment to
 // the site that dominates its request demand (DESIGN.md §14,
@@ -111,6 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	chaosSpec := fs.String("chaos", "", `fault plan, e.g. "drop p=0.05; delay p=0.3 max=20ms; partition sites=1 from=2s until=3s"`)
 	failover := fs.Bool("failover", false, "elect a successor library when the library site fail-stops (implies the ARQ layer)")
 	migrate := fs.Bool("migrate", false, "let libraries voluntarily rehome hot segments to their dominant requester (implies -failover)")
+	replicas := fs.Int("replicas", 0, "replicate library records to R follower sites for pauseless takeover (implies -failover)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	runs := fs.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
 	checkRun := fs.Bool("check", false, "verify the run's trace against the coherence invariants; exit 1 on violation")
@@ -131,6 +142,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *runs < 1 {
 		return fail("-runs must be at least 1")
+	}
+	if *replicas < 0 {
+		return fail("-replicas must be non-negative")
 	}
 	if *runs > 1 && *reflogPath != "" {
 		return fail("-reflog is incompatible with -runs > 1")
@@ -178,6 +192,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		return fail("unknown workload %q", *workload)
 	}
+	if *replicas >= n {
+		return fail("-replicas %d must be below the cluster size %d", *replicas, n)
+	}
 
 	var basePlan *chaos.Plan
 	if *chaosSpec != "" {
@@ -216,14 +233,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// A lossy fabric needs the ARQ layer; zero value = defaults.
 			opts.Reliability = &core.Reliability{}
 		}
-		if *failover || *migrate {
+		if *failover || *migrate || *replicas > 0 {
 			// Failover rides on the ARQ give-up verdict, so it implies
 			// the reliability layer even on a clean fabric; migration
-			// rides on the failover epoch fence in turn.
+			// and replication ride on the failover epoch fence in turn.
 			if opts.Reliability == nil {
 				opts.Reliability = &core.Reliability{}
 			}
 			opts.Failover = &core.Failover{}
+		}
+		if *replicas > 0 {
+			opts.Replication = &core.Replication{Replicas: *replicas}
 		}
 		if *migrate {
 			opts.Placement = &core.Placement{}
@@ -351,7 +371,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rt.WriteTo(stdout)
 	}
 
-	if *failover || *migrate {
+	if *failover || *migrate || *replicas > 0 {
 		ft := stats.NewTable("site", "failovers", "recoveries", "stale-epoch fenced", "migrations", "refused")
 		for i := 0; i < c.Sites(); i++ {
 			es := c.Site(i).Eng.Stats()
@@ -359,6 +379,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 		ft.WriteTo(stdout)
+	}
+
+	if *replicas > 0 {
+		rt := stats.NewTable("site", "appends", "commits", "degraded", "elections")
+		for i := 0; i < c.Sites(); i++ {
+			es := c.Site(i).Eng.Stats()
+			rt.Row(i, es.Appends, es.ReplCommits, es.ReplDegraded, es.Elections)
+		}
+		fmt.Fprintln(stdout)
+		rt.WriteTo(stdout)
 	}
 
 	if h := c.FaultLatency; h.Count() > 0 {

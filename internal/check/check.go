@@ -23,7 +23,11 @@
 //     the clock site, under any invalidation policy (§6.1, Table 1);
 //   - exactly-once grant application: no grant cycle commits twice and
 //     no granted install is applied twice (reliability layer, DESIGN.md
-//     §7).
+//     §7);
+//   - replicated-log agreement: with Options.Replication on, sites
+//     apply log entries in strictly ascending index order and agree on
+//     every (epoch, index) position, and no quorum-acknowledged
+//     mutation is lost across a takeover election (DESIGN.md §15).
 //
 // The schedule explorer (Exhaustive, RandomWalk) drives small clusters
 // of real protocol engines over the internal/sim kernel, permuting
@@ -56,6 +60,14 @@ const (
 	InvWindow = "window-revoked-early"
 	// InvExactlyOnce: a grant cycle or granted install applied twice.
 	InvExactlyOnce = "grant-exactly-once"
+	// InvLogPrefix: replicated-log prefix agreement was broken — a site
+	// applied log indexes out of order within an epoch, or two sites
+	// disagreed on the entry at one (epoch, index) position.
+	InvLogPrefix = "log-prefix"
+	// InvApplyLost: a takeover election installed a log tail behind a
+	// quorum-acknowledged (committed) mutation — an acked append was
+	// lost across the takeover.
+	InvApplyLost = "acked-append-lost"
 	// InvLiveness: the run drained with ops still blocked (explorer
 	// harness only; never produced by the trace checker).
 	InvLiveness = "liveness"

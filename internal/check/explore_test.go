@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"mirage/internal/obs"
 )
 
 // tinyScenario is the canonical exhaustively-enumerable configuration:
@@ -32,6 +34,60 @@ func windowScenario() Scenario {
 			{Site: 1, Write: true, Val: 7},
 			{Site: 2, Write: true, Val: 9},
 		},
+	}
+}
+
+// replScenario is the replicated-takeover configuration shared with
+// mutation_test.go: 3 sites, replication factor 2, the leader crashing
+// mid-run. Sites 1 and 2 each alternate writing their own page and
+// reading the other's, so every op needs a fresh library cycle (the
+// other site's write keeps invalidating the read copy) and the workload
+// stays active across the crash instant: early cycles commit through
+// the gated quorum, later ones run into the dead leader and force the
+// give-up → election takeover. Δ is 0 so the window invariant (and its
+// own mutation) stays out of the picture: what this scenario checks is
+// the replicated log.
+func replScenario() Scenario {
+	var ops []Op
+	for i := 0; i < 6; i++ {
+		ops = append(ops,
+			Op{Site: 1, Page: 0, Write: true, Val: byte(1 + i)},
+			Op{Site: 1, Page: 1, Write: false},
+			Op{Site: 2, Page: 1, Write: true, Val: byte(101 + i)},
+			Op{Site: 2, Page: 0, Write: false},
+		)
+	}
+	return Scenario{
+		Sites: 3, Pages: 2, Policy: 2, Replicas: 2,
+		Chaos: "crash site=0 from=25ms",
+		Ops:   ops,
+	}
+}
+
+// In the default build the replicated takeover must explore clean: the
+// election installs a log tail at or past every committed mutation
+// (acked-append-lost) and every site's applied stream agrees
+// (log-prefix).
+func TestReplScenarioCleanDefault(t *testing.T) {
+	// The default schedule must actually exercise what the scenario
+	// claims: commits before the crash, an election takeover after it.
+	base := runScenario(replScenario(), &scheduler{}, 0)
+	var commits, elects int
+	for _, ev := range base.trace {
+		switch {
+		case ev.Type == obs.EvReplicate && ev.From == ev.Site:
+			commits++
+		case ev.Type == obs.EvElect:
+			elects++
+		}
+	}
+	if commits == 0 || elects == 0 {
+		t.Fatalf("scenario exercised %d commits and %d elections; want both > 0", commits, elects)
+	}
+
+	res := Exhaustive(replScenario(), ExploreOpts{MaxRuns: 50})
+	if res.Counterexample != nil {
+		t.Fatalf("violation in correct protocol: %v", res.Violations)
 	}
 }
 

@@ -51,6 +51,13 @@ type Scenario struct {
 	// it switches the reliability layer on (chaos without it livelocks
 	// by design).
 	Chaos string `json:"chaos,omitempty"`
+	// Failover enables the takeover layer (and the reliability layer it
+	// requires), so crash windows in Chaos lead to recoveries instead of
+	// failed ops.
+	Failover bool `json:"failover,omitempty"`
+	// Replicas is the segment's replication factor
+	// (core.Replication.Replicas); > 0 implies Failover.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -69,8 +76,14 @@ func (sc Scenario) checkerConfig() Config {
 	return Config{
 		Sites:    sc.Sites,
 		Delta:    sc.Delta,
-		Reliable: sc.Chaos != "",
+		Reliable: sc.reliable(),
 	}
+}
+
+// reliable reports whether the scenario runs with the reliability layer
+// (and so grant cycles may abort without a commit).
+func (sc Scenario) reliable() bool {
+	return sc.Chaos != "" || sc.Failover || sc.Replicas > 0
 }
 
 // scheduler records and replays same-instant scheduling choices. A
@@ -195,6 +208,8 @@ func runScenario(sc Scenario, sch *scheduler, maxSteps int) runResult {
 			}}}
 		}
 		h.inj = chaos.New(*plan)
+	}
+	if sc.reliable() {
 		// Timeouts sized to the hop so give-up happens in bounded
 		// virtual time.
 		opt.Reliability = &core.Reliability{
@@ -203,6 +218,12 @@ func runScenario(sc Scenario, sch *scheduler, maxSteps int) runResult {
 			MaxAttempts:    5,
 			RequestTimeout: 4000 * sc.Hop,
 		}
+	}
+	if sc.Failover || sc.Replicas > 0 {
+		opt.Failover = &core.Failover{Sites: sc.Sites, RecoverTimeout: 100 * sc.Hop}
+	}
+	if sc.Replicas > 0 {
+		opt.Replication = &core.Replication{Replicas: sc.Replicas, Sites: sc.Sites}
 	}
 	for i := 0; i < sc.Sites; i++ {
 		h.engines = append(h.engines, core.New(hEnv{h, i}, opt))

@@ -60,6 +60,42 @@ type pageCheck struct {
 	writes map[rangeKey]uint64
 }
 
+// replPosKey identifies one position of a segment's replicated log.
+type replPosKey struct {
+	epoch uint32
+	index uint32
+}
+
+// replApplyKey identifies one site's applied-index stream in one epoch.
+type replApplyKey struct {
+	site  int32
+	epoch uint32
+}
+
+// replEntrySeen is the first-observed identity of a log position.
+type replEntrySeen struct {
+	digest uint32
+	page   int32
+}
+
+// replCheck is the checker's shadow of one segment's replicated log
+// (Options.Replication traces only; allocated on the first EvReplicate
+// or EvElect for the segment).
+type replCheck struct {
+	// seen is the entry identity first observed per log position; every
+	// later leader commit or follower apply of that position must match.
+	seen map[replPosKey]replEntrySeen
+	// applied is, per site and epoch, the highest log index the site has
+	// applied; follower applies must be strictly increasing.
+	applied map[replApplyKey]uint32
+	// committed tracks the latest quorum-acknowledged log position (from
+	// leader-commit events); a takeover election must install a tail at
+	// or past it. Cleared when a takeover or migration restarts the log.
+	committed   bool
+	commitEpoch uint32
+	commitIdx   uint32
+}
+
 // Checker is the streaming history checker. Feed it a schema-v1 trace
 // in emission order; that order is sound for live traces too, because
 // same-site events are emitted by one goroutine and cross-site events
@@ -68,6 +104,7 @@ type Checker struct {
 	cfg   Config
 	idx   int
 	pages map[pageKey]*pageCheck
+	repl  map[int32]*replCheck
 	viols []Violation
 	extra int // violations dropped past MaxViolations
 }
@@ -77,7 +114,11 @@ func NewChecker(cfg Config) *Checker {
 	if cfg.MaxViolations <= 0 {
 		cfg.MaxViolations = 100
 	}
-	return &Checker{cfg: cfg, pages: make(map[pageKey]*pageCheck)}
+	return &Checker{
+		cfg:   cfg,
+		pages: make(map[pageKey]*pageCheck),
+		repl:  make(map[int32]*replCheck),
+	}
 }
 
 func (c *Checker) report(inv string, ev obs.Event, format string, args ...any) {
@@ -141,7 +182,91 @@ func (c *Checker) Feed(ev obs.Event) {
 		c.recover(ev)
 	case obs.EvMigrate:
 		c.migrate(ev)
+	case obs.EvReplicate:
+		c.replicate(ev)
+	case obs.EvElect:
+		c.elect(ev)
 	}
+}
+
+func (c *Checker) replSeg(seg int32) *replCheck {
+	rc := c.repl[seg]
+	if rc == nil {
+		rc = &replCheck{
+			seen:    make(map[replPosKey]replEntrySeen),
+			applied: make(map[replApplyKey]uint32),
+		}
+		c.repl[seg] = rc
+	}
+	return rc
+}
+
+// replicate handles one replicated-log event: a leader commit (From
+// names the emitting site — a gated entry reached its follower quorum)
+// or a follower apply (From names the leader). Arg is the log index,
+// Cycle the 32-bit digest of the entry's encoded bytes; leader and
+// follower digest the identical bytes, so any disagreement at one
+// (epoch, index) position means the logs diverged (InvLogPrefix). A
+// follower's applied indexes must be strictly increasing within an
+// epoch — the leader streams in index order over a FIFO channel, and a
+// re-base snapshot only carries entries the follower has not applied.
+func (c *Checker) replicate(ev obs.Event) {
+	rc := c.replSeg(ev.Seg)
+	idx := uint32(ev.Arg)
+	pos := replPosKey{ev.Epoch, idx}
+	dig := ev.Cycle
+	if prev, ok := rc.seen[pos]; ok {
+		if prev.digest != dig || prev.page != ev.Page {
+			c.report(InvLogPrefix, ev,
+				"log position (epoch %d, index %d) seen as page %d digest %x, now page %d digest %x",
+				ev.Epoch, idx, prev.page, prev.digest, ev.Page, dig)
+		}
+	} else {
+		rc.seen[pos] = replEntrySeen{digest: dig, page: ev.Page}
+	}
+	if ev.From == ev.Site {
+		// Leader commit: the entry is quorum-acknowledged. Commits may
+		// settle out of index order (acks are cumulative, gates drain as
+		// a set), so only the high-water mark is tracked.
+		if !rc.committed || ev.Epoch > rc.commitEpoch ||
+			(ev.Epoch == rc.commitEpoch && idx > rc.commitIdx) {
+			rc.committed = true
+			rc.commitEpoch = ev.Epoch
+			rc.commitIdx = idx
+		}
+		return
+	}
+	ak := replApplyKey{ev.Site, ev.Epoch}
+	if last, ok := rc.applied[ak]; ok && idx <= last {
+		c.report(InvLogPrefix, ev,
+			"site %d applied log index %d after %d (epoch %d): applied stream not ascending",
+			ev.Site, idx, last, ev.Epoch)
+		return
+	}
+	rc.applied[ak] = idx
+}
+
+// elect handles a takeover election commit: ev.Site installed the
+// library from the merged log tail (Cycle = merged log epoch, Arg =
+// merged last index; ev.From is the dead leader). Every mutation that
+// was acknowledged to a requester was first committed by a follower
+// quorum, and the vote quorum is sized to intersect every commit
+// quorum — so a merged tail behind the committed high-water mark means
+// an acknowledged mutation was lost (InvApplyLost). Degraded releases
+// deliberately emit no commit event, which keeps this one-sided-sound
+// when the group has lost its quorum.
+func (c *Checker) elect(ev obs.Event) {
+	rc := c.replSeg(ev.Seg)
+	tailEpoch, tailIdx := uint32(ev.Cycle), uint32(ev.Arg)
+	if rc.committed && (tailEpoch < rc.commitEpoch ||
+		(tailEpoch == rc.commitEpoch && tailIdx < rc.commitIdx)) {
+		c.report(InvApplyLost, ev,
+			"takeover at site %d installed log tail (epoch %d, index %d) behind committed (epoch %d, index %d)",
+			ev.Site, tailEpoch, tailIdx, rc.commitEpoch, rc.commitIdx)
+	}
+	// The winner reseeds the log under the new epoch; commit tracking
+	// restarts with it.
+	rc.committed = false
 }
 
 // recover handles a library-failover recovery commit: the successor
@@ -171,7 +296,14 @@ func (c *Checker) recover(ev obs.Event) {
 // so nothing is fenced. Grant cycles under the new epoch are serialized
 // against the old epoch's by the per-epoch keying of openCycle, lastStart
 // and the install maps, which Feed already applies to every event.
-func (c *Checker) migrate(ev obs.Event) {}
+func (c *Checker) migrate(ev obs.Event) {
+	// The successor reseeds the replicated log from the migrated record
+	// (an exact transfer, so nothing can be lost); commit tracking
+	// restarts under the new epoch.
+	if rc := c.repl[ev.Seg]; rc != nil {
+		rc.committed = false
+	}
+}
 
 // windowCheck fires when possession at the believed clock site ends at
 // instant t while its granted window is still running.

@@ -17,6 +17,51 @@ import (
 // tests rightly fail under it:
 //
 //	go test -tags mirage_mutation ./internal/check -run TestMutation
+//
+// TestMutationReplAckLostCaught targets the other lie the tag enables:
+// core's mutateReplAckWithoutApply makes replica followers acknowledge
+// log appends without applying them, so the leader's gated mutations
+// "commit" against logs that hold nothing. When the leader crashes, the
+// election merges empty ballots and installs a log tail behind the
+// committed high-water mark — exactly what the acked-append-lost
+// invariant exists to catch, with a replayable counterexample.
+//
+// Run it alone, like the window test:
+//
+//	go test -tags mirage_mutation ./internal/check -run TestMutation
+func TestMutationReplAckLostCaught(t *testing.T) {
+	res := Exhaustive(replScenario(), ExploreOpts{MaxRuns: 200})
+	if res.Counterexample == nil {
+		t.Fatalf("mutation not caught in %d runs", res.Runs)
+	}
+	wantInv(t, res.Violations, InvApplyLost)
+
+	r := *res.Counterexample
+	t.Logf("counterexample: ops=%v choices=%v", r.Scenario.Ops, r.Choices)
+
+	// The repro must replay byte-identically and still show the bug.
+	a, b := r.Replay(), r.Replay()
+	if a.TraceSHA != b.TraceSHA {
+		t.Fatalf("replay diverged: %s vs %s", a.TraceSHA, b.TraceSHA)
+	}
+	wantInv(t, a.Violations, InvApplyLost)
+
+	// And survive the serialization round trip CI artifacts go through.
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRepro(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dec.Replay()
+	if c.TraceSHA != a.TraceSHA {
+		t.Fatal("decoded repro replays a different trace")
+	}
+	wantInv(t, c.Violations, InvApplyLost)
+}
+
 func TestMutationWindowViolationCaught(t *testing.T) {
 	res := Exhaustive(windowScenario(), ExploreOpts{MaxRuns: 200})
 	if res.Counterexample == nil {

@@ -144,6 +144,14 @@ type Options struct {
 	// the failover epoch fence for the handoff. Requires Failover (and
 	// therefore Reliability).
 	Placement *Placement
+	// Replication, when non-nil with Replicas > 0, mirrors every library
+	// page-record mutation to a group of follower sites before the
+	// mutation is acknowledged (DESIGN.md §15, docs/REPLICATION.md), so
+	// a takeover installs the record from the replicated log instead of
+	// interrogating every holder. Requires Failover (and therefore
+	// Reliability); falls back to the legacy holder rebuild when the
+	// group quorum is lost.
+	Replication *Replication
 	// TuneDelta, if non-nil, may return a new Δ for a page each time
 	// the library is about to grant it. Mirage ships the routine
 	// disabled (nil), as the paper does.
@@ -200,6 +208,12 @@ type Stats struct {
 	// Placement counters; all zero unless Options.Placement is set.
 	Migrations        int // library roles accepted here via voluntary migration
 	MigrationsRefused int // outbound offers refused, aborted, or superseded
+
+	// Replication counters; all zero unless Options.Replication is set.
+	Appends      int // log entries appended by this site as leader
+	ReplCommits  int // entries acknowledged by a follower quorum
+	ReplDegraded int // gated mutations released without quorum (group degraded)
+	Elections    int // takeovers completed from the replicated log at this site
 }
 
 type pageKey struct {
@@ -248,6 +262,12 @@ type segNode struct {
 	place  *placeTrack
 	migOut *migration
 	migIn  *migInbound
+
+	// Replication state (Options.Replication): the per-segment log. At
+	// the leader repl.lead is non-nil and gates record mutations on
+	// quorum acks; at followers repl mirrors the applied record so an
+	// election can install from it.
+	repl *replSeg
 
 	// Degraded-grant state (reliability layer only).
 	pageErr  map[int32]error  // page -> pending error for the accessor
@@ -377,6 +397,9 @@ func (e *Engine) CreateSegment(meta *mem.Segment) {
 		// Seed the trace with the initial placement so a checker reading
 		// it cold knows who holds what (Cycle 0 marks it ungranted).
 		e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(meta.ID), Page: int32(p), Arg: 2})
+	}
+	if e.replicationEnabled() {
+		e.replSeedLeader(sn)
 	}
 }
 
@@ -603,6 +626,16 @@ func (e *Engine) handle(m *wire.Msg) {
 			e.send(int(m.From), &wire.Msg{Kind: wire.KMigrateAck, Seg: m.Seg, Page: -1})
 			return
 		}
+		if e.opt.Failover != nil && m.Kind == wire.KAppend && int(m.From) != e.site {
+			// Never attached: this site cannot mirror the log. Refuse
+			// (Page -2) so the leader benches it instead of waiting out a
+			// give-up. SegEpoch is set explicitly because transmit cannot
+			// stamp a segment this site does not know.
+			e.send(int(m.From), &wire.Msg{
+				Kind: wire.KAppendAck, Seg: m.Seg, Page: -2, SegEpoch: m.SegEpoch,
+			})
+			return
+		}
 		e.stats.Dropped++
 		return
 	}
@@ -670,6 +703,12 @@ func (e *Engine) handle(m *wire.Msg) {
 		e.handleDenied(sn, m)
 	case wire.KGrantFail:
 		e.handleGrantFail(sn, m)
+	case wire.KAppend:
+		e.handleAppend(sn, m)
+	case wire.KAppendAck:
+		e.handleAppendAck(sn, m)
+	case wire.KVote:
+		e.handleVote(sn, m)
 	default:
 		panic(fmt.Sprintf("core: site %d: unhandled %v", e.site, m))
 	}

@@ -19,6 +19,7 @@ type testNet struct {
 	k       *sim.Kernel
 	engines []*Engine
 	delay   time.Duration
+	down    map[int]bool // crashed sites: traffic to/from them is dropped
 }
 
 type tEnv struct {
@@ -33,6 +34,9 @@ func (e tEnv) After(d time.Duration, fn func()) func() {
 	return func() { t.Cancel() }
 }
 func (e tEnv) Send(to int, m NetMsg) {
+	if e.n.down[to] || e.n.down[e.site] {
+		return // a crashed site neither sends nor receives
+	}
 	d := e.n.delay
 	if to == e.site {
 		d = 0
@@ -52,7 +56,7 @@ func newTestNet(t *testing.T, sites int, opt Options) *testNet {
 	if opt.Costs == nil {
 		opt.Costs = zeroCosts()
 	}
-	n := &testNet{t: t, k: sim.NewKernel(), delay: time.Millisecond}
+	n := &testNet{t: t, k: sim.NewKernel(), delay: time.Millisecond, down: make(map[int]bool)}
 	for i := 0; i < sites; i++ {
 		n.engines = append(n.engines, New(tEnv{n, i}, opt))
 	}

@@ -60,6 +60,10 @@ type recovery struct {
 	// already adopted) buffered until the record is rebuilt.
 	buffered []*wire.Msg
 	cancel   func() // RecoverTimeout timer
+	// elect is non-nil when this takeover runs as a replicated-log
+	// election (docs/REPLICATION.md) instead of a holder rebuild; the
+	// record then installs from the merged log in installElectedLib.
+	elect *replElect
 }
 
 // recovPage accumulates one page's reported holders.
@@ -174,9 +178,7 @@ func (e *Engine) beginRecovery(sn *segNode) {
 	if sn.lib != nil || sn.recov != nil || sn.curLib == e.site {
 		return // already the library, or a takeover is running
 	}
-	fo := e.opt.Failover
 	dead := sn.curLib
-	seg := int32(sn.meta.ID)
 	sn.segEpoch++
 	sn.curLib = e.site
 	rc := &recovery{
@@ -189,9 +191,26 @@ func (e *Engine) beginRecovery(sn *segNode) {
 	// Requests aimed at the dead library are dead with it; blocked
 	// faults re-issue against this site once the record is rebuilt.
 	e.forgetRequests(sn)
+	if e.replicationEnabled() && e.replGroupHas(dead, e.site) {
+		// This site mirrors the dead library's log: run an election and
+		// install from the merged log tail instead of interrogating every
+		// holder (docs/REPLICATION.md). Falls back to the holder rebuild
+		// if the vote quorum cannot be reached.
+		e.beginElection(sn, rc)
+		return
+	}
 	e.mergeHoldings(rc, e.site, e.localHoldings(sn))
+	e.queryHoldings(sn, rc)
+}
+
+// queryHoldings sends the holdings query to every surviving site and
+// arms the report timeout; recovery finishes immediately when there is
+// nobody to ask.
+func (e *Engine) queryHoldings(sn *segNode, rc *recovery) {
+	fo := e.opt.Failover
+	seg := int32(sn.meta.ID)
 	for s := 0; s < fo.Sites; s++ {
-		if s == e.site || s == dead {
+		if s == e.site || s == rc.from {
 			continue
 		}
 		rc.waiting[s] = true
@@ -227,6 +246,13 @@ func (e *Engine) recovPeerDone(sn *segNode, s int) {
 func (e *Engine) finishRecovery(sn *segNode) {
 	rc := sn.recov
 	if rc == nil {
+		return
+	}
+	if rc.elect != nil {
+		// Replicated takeover: the record comes from the merged log, not
+		// from holder reports (any reports that did arrive were probe
+		// replies and are consumed by resolveIntent).
+		e.installElectedLib(sn)
 		return
 	}
 	if rc.cancel != nil {
@@ -351,6 +377,13 @@ func (e *Engine) adoptEpoch(sn *segNode, epoch uint32, newLib int) {
 		// Deposed: a successor recovered while this site was presumed
 		// dead. The successor's record is authoritative now.
 		sn.lib = nil
+	}
+	if sn.repl != nil {
+		// Deposed as replication leader too: quorum gates die with the
+		// role (their cycles are dead under the old epoch anyway). The
+		// follower-side log is kept — it is this site's ballot if it is
+		// ever solicited in a later election.
+		sn.repl.lead = nil
 	}
 	if sn.recov != nil {
 		// Our own takeover lost the race to a higher epoch.
@@ -489,7 +522,9 @@ func (e *Engine) adoptAhead(sn *segNode, m *wire.Msg) {
 	newLib := sn.curLib
 	switch m.Kind {
 	case wire.KInval, wire.KAddReader, wire.KAlready, wire.KDenied,
-		wire.KClockHandoff, wire.KReleaseDone:
+		wire.KClockHandoff, wire.KReleaseDone, wire.KAppend, wire.KVote:
+		// Library-origin kinds; a KVote ahead of our epoch comes from an
+		// election winner, which is the library of the epoch it installs.
 		newLib = int(m.From)
 	}
 	e.adoptEpoch(sn, m.SegEpoch, newLib)

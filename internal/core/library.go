@@ -125,6 +125,9 @@ func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) error {
 		panic(fmt.Sprintf("core: SetPageDelta at non-library site %d", e.site))
 	}
 	sn.lib.pages[page].delta = delta
+	// Δ retunes replicate fire-and-forget: losing one across a takeover
+	// costs tuning quality, never coherence.
+	e.replAppendSet(sn, page, replRecOf(&sn.lib.pages[page]))
 	return nil
 }
 
@@ -140,6 +143,7 @@ func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) error {
 	}
 	for i := range sn.lib.pages {
 		sn.lib.pages[i].delta = delta
+		e.replAppendSet(sn, int32(i), replRecOf(&sn.lib.pages[i]))
 	}
 	sn.meta.Delta = delta
 	return nil
@@ -359,6 +363,7 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.Copyset) {
 	e.emit(obs.Event{Type: obs.EvGrantStart, Seg: int32(sn.meta.ID), Page: page, Cycle: p.cycle})
 	if p.writer != mmu.NoWriter {
 		// Downgrade the writer; it becomes (and stays) the clock site.
+		prior := replRecOf(p)
 		p.grant = grantCycle{
 			active: true, batch: batch, oldWrite: true, oldClock: p.writer,
 			inval: &wire.Msg{
@@ -366,12 +371,17 @@ func (e *Engine) libStartReadCycle(sn *segNode, page int32, batch mmu.Copyset) {
 				Readers: batch, Delta: delta, Cycle: p.cycle,
 			},
 		}
-		e.send(p.writer, p.grant.inval)
+		post := replRec{writer: mmu.NoWriter, clock: p.writer, delta: p.delta,
+			readers: mmu.CopysetOf(p.writer).Union(batch)}
+		e.replGateCycleOpen(sn, page, prior, post, p.writer, p.grant.inval)
 		return
 	}
 	// Pure reader extension: no clock check, no invalidation.
+	prior := replRecOf(p)
 	p.grant = grantCycle{active: true, batch: batch, oldClock: p.clock}
-	e.send(p.clock, &wire.Msg{
+	post := prior
+	post.readers = prior.readers.Union(batch)
+	e.replGateCycleOpen(sn, page, prior, post, p.clock, &wire.Msg{
 		Kind: wire.KAddReader, Seg: int32(sn.meta.ID), Page: page,
 		Readers: batch, Delta: delta, Cycle: p.cycle,
 	})
@@ -389,6 +399,7 @@ func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
 	e.obs.Count(e.site, obs.CGrantCycle)
 	e.emit(obs.Event{Type: obs.EvGrantStart, Seg: int32(sn.meta.ID), Page: page,
 		To: int32(to), Cycle: p.cycle, Arg: 1})
+	prior := replRecOf(p)
 	p.grant = grantCycle{
 		active: true, write: true, to: to,
 		inval: &wire.Msg{
@@ -397,7 +408,8 @@ func (e *Engine) libStartWriteCycle(sn *segNode, page int32, to int) {
 			Cycle: p.cycle,
 		},
 	}
-	e.send(p.clock, p.grant.inval)
+	post := replRec{writer: to, clock: to, delta: p.delta}
+	e.replGateCycleOpen(sn, page, prior, post, p.clock, p.grant.inval)
 }
 
 // libFinishCycle commits the completed grant to the authoritative
@@ -422,4 +434,6 @@ func (e *Engine) libFinishCycle(sn *segNode, page int32) {
 	}
 	p.busy = false
 	p.grant = grantCycle{}
+	// The committed record supersedes the cycle's intent in the log.
+	e.replAppendSet(sn, page, replRecOf(p))
 }

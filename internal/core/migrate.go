@@ -363,6 +363,14 @@ func (e *Engine) installMigratedRecord(sn *segNode, from int, offerEpoch uint32,
 	// window and a cooldown, so the segment cannot bounce straight back.
 	now := e.env.Now()
 	sn.place = &placeTrack{demand: make(map[int]int), windowStart: now, lastMove: now}
+	if e.replicationEnabled() {
+		// The migrated record IS the log head: re-seed the epoch's log
+		// from it and base this leader's follower group eagerly — the
+		// offer shipped a reconstruction-free snapshot, and the group
+		// changes with the leader.
+		e.replSeedLeader(sn)
+		e.replBaseFollowers(sn)
+	}
 	e.stats.Migrations++
 	e.obs.Count(e.site, obs.CMigration)
 	e.emit(obs.Event{Type: obs.EvMigrate, Seg: seg, Arg: int64(from)})

@@ -8,3 +8,10 @@ package core
 // deliberately breaking the window guarantee so the schedule explorer's
 // mutation test (internal/check) can prove it detects the violation.
 const mutateSkipWindowCheck = false
+
+// mutateReplAckWithoutApply is the production value of the replication
+// mutation switch: a follower acknowledges only what it durably applied.
+// Building with -tags mirage_mutation flips it so the mutation test can
+// prove the acked-append-lost invariant catches the resulting lost
+// update across a takeover.
+const mutateReplAckWithoutApply = false

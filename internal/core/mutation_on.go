@@ -8,3 +8,10 @@ package core
 // test builds with this tag; it asserts the schedule explorer catches
 // the violation with a replayable counterexample.
 const mutateSkipWindowCheck = true
+
+// mutateReplAckWithoutApply: MUTATION BUILD. A replication follower
+// acknowledges appends it never applies — the durability lie the
+// acked-append-lost invariant (internal/check) exists to catch: an
+// election can then install a log missing mutations the leader already
+// acknowledged at quorum.
+const mutateReplAckWithoutApply = true

@@ -48,9 +48,40 @@ type Reliability struct {
 	// behind a partitioned third party). Default 8s — comfortably past
 	// the give-up horizon of the message budget.
 	RequestTimeout time.Duration
+	// Sites is the cluster size, filled by the cluster constructors
+	// (like Failover.Sites). At 16 sites and above, an unset AckTimeout
+	// auto-scales linearly with Sites instead of taking the 30ms
+	// default: a library serializes N near-simultaneous installs (and
+	// their acks) at a few ms each, so a fixed small timeout retransmits
+	// into its own backlog and congestion-collapses the cluster into a
+	// give-up livelock (first observed in the E20 invalidation sweep).
+	// The scaled profile is AckTimeout = Sites×8ms, and — where unset —
+	// MaxBackoff = 4×AckTimeout, MaxAttempts = 3, RequestTimeout =
+	// 25×AckTimeout. Zero (or Sites < 16) keeps the fixed defaults.
+	Sites int
+	// NoAutoScale opts out of the Sites-based AckTimeout scaling,
+	// keeping the fixed defaults at any cluster size.
+	NoAutoScale bool
 }
 
+// autoScaleSites is the cluster size at which an unset AckTimeout stops
+// defaulting to the fixed 30ms and starts scaling with Sites.
+const autoScaleSites = 16
+
 func (r Reliability) withDefaults() Reliability {
+	if r.AckTimeout == 0 && r.Sites >= autoScaleSites && !r.NoAutoScale {
+		rt := time.Duration(r.Sites) * 8 * time.Millisecond
+		r.AckTimeout = rt
+		if r.MaxBackoff == 0 {
+			r.MaxBackoff = 4 * rt
+		}
+		if r.MaxAttempts == 0 {
+			r.MaxAttempts = 3
+		}
+		if r.RequestTimeout == 0 {
+			r.RequestTimeout = 25 * rt
+		}
+	}
 	if r.AckTimeout == 0 {
 		r.AckTimeout = 30 * time.Millisecond
 	}
@@ -354,6 +385,29 @@ func (e *Engine) deliveryFailed(to int, m *wire.Msg) {
 			}
 		}
 
+	case wire.KAppend:
+		// A follower's append channel gave up: bench it so its slot stops
+		// counting toward (or blocking) the quorum.
+		e.replFollowerFailed(sn, to)
+
+	case wire.KAppendAck:
+		// The leader is unreachable from this follower — the same verdict
+		// a lost request gives a requester: nominate a successor.
+		if e.failoverEnabled() && to == sn.curLib &&
+			e.triggerFailover(sn, m.Seg, mmu.Copyset{}) {
+			return
+		}
+		e.stats.Dropped++
+
+	case wire.KVote:
+		// An election solicitation (Req == this site) that never reached
+		// its voter; replies are best-effort like other notifications.
+		if int(m.Req) == e.site {
+			e.voteSolicitFailed(sn, to)
+			return
+		}
+		e.stats.Dropped++
+
 	default:
 		// KInstalled, KBusy, KInvalAck, KAlready, KDenied, KGrantFail,
 		// KClockHandoff, KReleaseDone: best-effort notifications. Losing
@@ -550,6 +604,9 @@ func (e *Engine) libAbortCycle(sn *segNode, page int32) {
 	} else {
 		g.batch.ForEach(func(s int) { e.libDeny(sn, page, s, wire.Read, false) })
 	}
+	// The cycle's logged intent is void: log the unchanged record so an
+	// elected successor does not probe (or adopt) a grant that died here.
+	e.replAppendSet(sn, page, replRecOf(p))
 	e.libProcess(sn, page)
 }
 

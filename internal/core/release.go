@@ -61,6 +61,10 @@ func (e *Engine) Releasing(seg int32) bool {
 // the head of a page's queue (never while a grant cycle is in flight).
 func (e *Engine) libProcessRelease(sn *segNode, page int32, r libReq) {
 	p := &sn.lib.pages[page]
+	seg := int32(sn.meta.ID)
+	mutated := true
+	handoffTo := -1
+	var handoff *wire.Msg
 	switch {
 	case r.site == p.writer:
 		// The writer hands its (only) copy home: the library becomes
@@ -80,15 +84,37 @@ func (e *Engine) libProcessRelease(sn *segNode, page int32, r libReq) {
 				nc = p.readers.Sites()[0]
 			}
 			p.clock = nc
-			e.send(nc, &wire.Msg{
-				Kind: wire.KClockHandoff, Seg: int32(sn.meta.ID), Page: page,
+			handoffTo = nc
+			handoff = &wire.Msg{
+				Kind: wire.KClockHandoff, Seg: seg, Page: page,
 				Readers: p.readers,
-			})
+			}
 		}
 	default:
 		// Stale: an intervening cycle already removed this holder.
+		mutated = false
 	}
-	e.send(r.site, &wire.Msg{Kind: wire.KReleaseDone, Seg: int32(sn.meta.ID), Page: page})
+	done := &wire.Msg{Kind: wire.KReleaseDone, Seg: seg, Page: page}
+	confirm := func() {
+		if handoff != nil {
+			e.send(handoffTo, handoff)
+		}
+		e.send(r.site, done)
+	}
+	if mutated && e.replActive(sn) {
+		// The released copy is unrecoverable the moment the holder hears
+		// KReleaseDone, so the confirmation waits for the record change
+		// to be quorum-durable — otherwise an elected successor could
+		// grant from a record still naming the departed holder.
+		e.replAppend(sn, &replEntry{page: page, post: replRecOf(p)}, func() {
+			if cur, ok := e.segs[seg]; !ok || cur != sn || sn.lib == nil {
+				return
+			}
+			confirm()
+		})
+		return
+	}
+	confirm()
 }
 
 // libReclaim reinstalls a returned page at the library site.
@@ -118,6 +144,7 @@ func (e *Engine) libReclaim(sn *segNode, page int32, data []byte) {
 	p.readers = mmu.Copyset{}
 	p.clock = e.site
 	e.emit(obs.Event{Type: obs.EvPageState, Seg: int32(sn.meta.ID), Page: page, Arg: 2})
+	e.replAppendSet(sn, page, replRecOf(p))
 }
 
 // handleReleaseDone finalizes one page release at the departing site.

@@ -1,0 +1,54 @@
+package exp
+
+import "testing"
+
+// TestE22ReplicationSweep pins the E22 grid's qualitative shape: every
+// point completes and verifies coherent, the leader crash takes the
+// log-election path at R>0 and the holder rebuild at R=0, quorum loss
+// falls back, and under the correlated crash the election is strictly
+// cheaper than the interrogation it replaces.
+func TestE22ReplicationSweep(t *testing.T) {
+	r := ReplicationSweep(8)
+	if !r.ReplayMatches {
+		t.Error("same-seed replay diverged")
+	}
+	pts := map[string]ReplicationPoint{}
+	for _, p := range r.Points {
+		if !p.Completed {
+			t.Errorf("%s R=%d: workload incomplete (%d/%d)", p.Name, p.Replicas, p.Final, p.Want)
+		}
+		if p.Violations != 0 {
+			t.Errorf("%s R=%d: %d coherence violations", p.Name, p.Replicas, p.Violations)
+		}
+		pts[p.Name+string(rune('0'+p.Replicas))] = p
+	}
+	if p := pts["clean2"]; p.Commits == 0 || p.Degraded != 0 {
+		t.Errorf("clean R=2: commits=%d degraded=%d, want a working quorum", p.Commits, p.Degraded)
+	}
+	if p := pts["leader-crash0"]; p.Elections != 0 || p.Recoveries != 1 {
+		t.Errorf("leader-crash R=0: elections=%d recoveries=%d, want the holder rebuild", p.Elections, p.Recoveries)
+	}
+	for _, k := range []string{"leader-crash2", "leader-crash4"} {
+		if p := pts[k]; p.Elections != 1 {
+			t.Errorf("%s: elections=%d, want the log takeover", k, p.Elections)
+		}
+	}
+	if p := pts["follower-crash2"]; p.Failovers != 0 || p.Commits == 0 {
+		t.Errorf("follower-crash R=2: failovers=%d commits=%d, want the leader to keep granting", p.Failovers, p.Commits)
+	}
+	if p := pts["quorum-loss2"]; p.Elections != 0 || p.Recoveries != 1 {
+		t.Errorf("quorum-loss R=2: elections=%d recoveries=%d, want the rebuild fallback", p.Elections, p.Recoveries)
+	}
+	base, repl := pts["correlated-crash0"], pts["correlated-crash2"]
+	if len(base.RecoverLatency) != 1 || len(repl.RecoverLatency) != 1 {
+		t.Fatalf("correlated crash recovery counts: base %v repl %v", base.RecoverLatency, repl.RecoverLatency)
+	}
+	if repl.RecoverLatency[0] >= base.RecoverLatency[0] {
+		t.Errorf("correlated crash: log takeover %v not below holder rebuild %v",
+			repl.RecoverLatency[0], base.RecoverLatency[0])
+	}
+	if repl.UnavailMs >= base.UnavailMs {
+		t.Errorf("correlated crash: unavailable window %.1fms not below baseline %.1fms",
+			repl.UnavailMs, base.UnavailMs)
+	}
+}

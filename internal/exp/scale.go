@@ -73,7 +73,7 @@ func ScaleSweep(quick bool) []ScalePoint {
 		}
 	}
 	return sweep(grid, func(p pt) ScalePoint {
-		r, _ := runScalePoint(p.n, p.k, 3, nil, "")
+		r, _ := runScalePoint(p.n, p.k, 3, nil, "", nil)
 		return r
 	})
 }
@@ -94,9 +94,11 @@ const (
 // faults. o, when non-nil, supplies the observability sink (a caller
 // wanting the trace passes obs.New()); otherwise a metrics-only sink
 // is used. chaosSpec, when non-empty, is a chaos plan injected with
-// the reliability layer enabled. The returned error reports a workload
-// that failed to complete every round (deadline hit or access error).
-func runScalePoint(n, k, rounds int, o *obs.Obs, chaosSpec string) (ScalePoint, error) {
+// the reliability layer enabled; rel overrides the auto-scaled ARQ
+// profile for such runs (nil takes scaleReliability). The returned
+// error reports a workload that failed to complete every round
+// (deadline hit or access error).
+func runScalePoint(n, k, rounds int, o *obs.Obs, chaosSpec string, rel *core.Reliability) (ScalePoint, error) {
 	if o == nil {
 		o = &obs.Obs{Metrics: obs.NewRegistry()}
 	}
@@ -110,7 +112,10 @@ func runScalePoint(n, k, rounds int, o *obs.Obs, chaosSpec string) (ScalePoint, 
 			return ScalePoint{}, fmt.Errorf("chaos plan: %w", err)
 		}
 		cfg.Chaos = plan
-		cfg.Engine.Reliability = scaleReliability(n)
+		if rel == nil {
+			rel = scaleReliability(n)
+		}
+		cfg.Engine.Reliability = rel
 	}
 	c := ipc.NewCluster(n, cfg)
 	res := ScalePoint{Sites: n, Fanout: k, Rounds: rounds}
@@ -248,21 +253,14 @@ func runScalePoint(n, k, rounds int, o *obs.Obs, chaosSpec string) (ScalePoint, 
 }
 
 // scaleReliability sizes the ARQ timers for an n-site cluster. The
-// defaults are tuned for the paper's handful of sites; at E20 scale
-// the library's NIC serializes N near-simultaneous installs (and their
-// acks) at ~3.2 ms each, so a 30 ms AckTimeout retransmits into the
-// backlog and congestion-collapses the library — every channel then
-// gives up and every write cycle aborts, a livelock. The initial
-// timeout must cover the worst-case service-queue drain, which grows
-// linearly with N.
+// linear-in-N profile this experiment discovered (a fixed 30 ms
+// AckTimeout retransmits into the library's own install backlog at
+// scale and congestion-collapses the cluster) is now the engine's
+// documented auto-scale: an unset AckTimeout with Sites ≥ 16 takes
+// Sites×8ms and the matching backoff/attempt/deadline profile. See
+// core.Reliability.Sites.
 func scaleReliability(n int) *core.Reliability {
-	rt := time.Duration(n) * 8 * time.Millisecond
-	return &core.Reliability{
-		AckTimeout:     rt,
-		MaxBackoff:     4 * rt,
-		MaxAttempts:    3,
-		RequestTimeout: 25 * rt,
-	}
+	return &core.Reliability{Sites: n}
 }
 
 // ScaleCheckResult reports one checked E20 run: the full protocol
@@ -281,7 +279,7 @@ type ScaleCheckResult struct {
 // exercise the tree's unicast fallback under verification.
 func ScaleChecked(n, k int, chaosSpec string) (ScaleCheckResult, error) {
 	o := obs.New()
-	pt, err := runScalePoint(n, k, 2, o, chaosSpec)
+	pt, err := runScalePoint(n, k, 2, o, chaosSpec, nil)
 	if err != nil {
 		return ScaleCheckResult{}, err
 	}

@@ -3,14 +3,16 @@ package exp
 import (
 	"reflect"
 	"testing"
+
+	"mirage/internal/core"
 )
 
 func TestE20ScalePoint(t *testing.T) {
-	flat, err := runScalePoint(10, 0, 2, nil, "")
+	flat, err := runScalePoint(10, 0, 2, nil, "", nil)
 	if err != nil {
 		t.Fatalf("flat: %v", err)
 	}
-	tree, err := runScalePoint(10, 4, 2, nil, "")
+	tree, err := runScalePoint(10, 4, 2, nil, "", nil)
 	if err != nil {
 		t.Fatalf("tree: %v", err)
 	}
@@ -54,6 +56,29 @@ func TestE20ScaleCheckedUnderRelayCrash(t *testing.T) {
 	}
 	if r.Violations != 0 {
 		t.Fatalf("relay-crash checked run: %d violations", r.Violations)
+	}
+}
+
+// TestAutoScaleReliabilityN100 is the livelock regression test behind
+// core.Reliability's Sites auto-scale (promoted from this experiment's
+// scaleReliability): at N=100 under a light drop plan, the scaled ARQ
+// profile completes the barriered workload, while the fixed 30ms
+// profile (NoAutoScale) retransmits into the library's own install
+// backlog. The collapse compounds across rounds — each round's
+// retransmit storm leaves the backlog deeper than the last — so one
+// round squeaks through but the third wedges every write cycle and the
+// run hits the virtual-time deadline instead of finishing.
+func TestAutoScaleReliabilityN100(t *testing.T) {
+	const plan = "seed=3; drop p=0.02"
+	if _, err := runScalePoint(100, 8, 3, nil, plan, nil); err != nil {
+		t.Fatalf("auto-scaled profile failed at N=100: %v", err)
+	}
+	if testing.Short() {
+		t.Skip("skipping the livelock (negative) half in -short mode")
+	}
+	fixed := &core.Reliability{Sites: 100, NoAutoScale: true}
+	if _, err := runScalePoint(100, 8, 3, nil, plan, fixed); err == nil {
+		t.Fatal("fixed 30ms profile completed 3 rounds at N=100; the auto-scale rationale no longer holds")
 	}
 }
 

@@ -152,11 +152,23 @@ func NewCluster(n int, cfg Config) *Cluster {
 	if cfg.MaxBytes == 0 {
 		cfg.MaxBytes = vaxmodel.MaxSegmentBytes
 	}
+	if rl := cfg.Engine.Reliability; rl != nil && rl.Sites == 0 {
+		// Fill in the cluster size so the AckTimeout auto-scale (see
+		// core.Reliability.Sites) sees the real N.
+		r := *rl
+		r.Sites = n
+		cfg.Engine.Reliability = &r
+	}
 	if fo := cfg.Engine.Failover; fo != nil && fo.Sites == 0 {
 		// Fill in the cluster size so callers can pass &core.Failover{}.
 		f := *fo
 		f.Sites = n
 		cfg.Engine.Failover = &f
+	}
+	if rp := cfg.Engine.Replication; rp != nil && rp.Sites == 0 {
+		r := *rp
+		r.Sites = n
+		cfg.Engine.Replication = &r
 	}
 	c := &Cluster{
 		K:            sim.NewKernel(),

@@ -71,6 +71,11 @@ const (
 	// Placement layer: voluntary library migration.
 	CMigration
 	CMigrationRefused
+	// Replication layer: consensus-replicated library records.
+	CAppend
+	CReplCommit
+	CReplDegraded
+	CElect
 
 	counterCount
 )
@@ -119,6 +124,10 @@ var counterNames = [...]string{
 	CWireByte:         "wire_bytes",
 	CMigration:        "migrations",
 	CMigrationRefused: "refused_migrations",
+	CAppend:           "appends",
+	CReplCommit:       "repl_commits",
+	CReplDegraded:     "repl_degraded",
+	CElect:            "elections",
 }
 
 func (c Counter) String() string {
@@ -190,6 +199,10 @@ const (
 	// HMigrateLatency: voluntary migration duration (ns), from the old
 	// library freezing the segment to the successor's ack deposing it.
 	HMigrateLatency
+	// HReplLag: replication lag (ns) at the leader, from appending an
+	// intent to its quorum commit — the synchronous overhead replication
+	// adds to each gated mutation.
+	HReplLag
 
 	histCount
 )
@@ -202,6 +215,7 @@ var histNames = [...]string{
 	HRecoverLatency:  "recover_latency_ns",
 	HAppOpLatency:    "app_op_latency_ns",
 	HMigrateLatency:  "migrate_latency_ns",
+	HReplLag:         "repl_lag_ns",
 }
 
 func (h HistID) String() string {
@@ -225,6 +239,7 @@ var histLow = [histCount]int64{
 	HRecoverLatency:  int64(time.Millisecond),
 	HAppOpLatency:    int64(time.Microsecond),
 	HMigrateLatency:  int64(time.Millisecond),
+	HReplLag:         int64(time.Microsecond),
 }
 
 // NewHist returns a standalone histogram whose lowest bucket bound is

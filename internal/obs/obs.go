@@ -111,6 +111,16 @@ const (
 	// per migration at the new library site. Unlike EvRecover the old
 	// library is alive and its copies stay valid.
 	EvMigrate
+	// EvReplicate is replication log activity (docs/REPLICATION.md).
+	// From == Site: the leader committed the entry at quorum; From !=
+	// Site: a follower applied an entry replicated from the leader in
+	// From. Arg is the log index, Cycle the entry's 32-bit digest.
+	EvReplicate
+	// EvElect is an election winner installing the library from its
+	// replicated log tail instead of reconstructing holdings: its Epoch
+	// field is the new library epoch, From the dead leader, Cycle the
+	// merged log's epoch (term), Arg the merged tail index.
+	EvElect
 
 	evTypeCount
 )
@@ -145,6 +155,8 @@ var evNames = [...]string{
 	EvInvalFanout: "inval-fanout",
 	EvRelay:       "relay",
 	EvMigrate:     "migrate",
+	EvReplicate:   "replicate",
+	EvElect:       "elect",
 }
 
 func (t EvType) String() string {

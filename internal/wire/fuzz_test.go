@@ -27,6 +27,18 @@ func corpusMsg(k Kind) Msg {
 		m.Remaining = 13 * time.Millisecond
 	case KPageSend, KReleaseWrite, KGrantFail:
 		m.Data = bytes.Repeat([]byte{0xa5}, 512)
+	case KAppend:
+		// A plausible replication log-entry batch (docs/REPLICATION.md):
+		// kind, index, page, record; the decoder must stay panic-free on
+		// arbitrary corruptions of it.
+		m.Data = []byte{
+			1, 0, 0, 0, 9, 0, 0, 0, 3, // intent, index 9, page 3
+			0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 2, 0, 1, // post record
+			255, 255, 255, 255, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, // prior record
+		}
+	case KVote:
+		m.Upgrade = true // final chunk
+		m.Data = []byte{0, 0, 0, 2, 0, 0, 0, 9}
 	}
 	return m
 }

@@ -128,6 +128,22 @@ const (
 	// carries the successor's new, higher epoch; the old library deposes
 	// itself and converts its frozen queue into epoch notices.
 	KMigrateAck
+	// KAppend replicates library page-record log entries to a follower
+	// site (library -> follower). Data carries one or more self-
+	// delimiting log entries (docs/REPLICATION.md); Cycle is the index
+	// of the last entry in the batch; SegEpoch is the log term.
+	KAppend
+	// KAppendAck confirms applied log entries (follower -> library).
+	// Cycle is the follower's cumulative applied index for the message's
+	// SegEpoch; Page == -2 refuses the append (the site holds no replica
+	// state for the segment).
+	KAppendAck
+	// KVote drives a replicated takeover. Sent by the election winner
+	// (From == Req == winner, stamped with the bumped SegEpoch) it
+	// solicits the group's log tails; a reply (From != Req) carries the
+	// follower's log epoch, applied index, and its per-page latest
+	// entries in Data, chunked, with Upgrade marking the final chunk.
+	KVote
 
 	kindCount
 )
@@ -157,6 +173,9 @@ var kindNames = [...]string{
 	KInvalFail:    "inval-fail",
 	KMigrate:      "migrate",
 	KMigrateAck:   "migrate-ack",
+	KAppend:       "append",
+	KAppendAck:    "append-ack",
+	KVote:         "vote",
 }
 
 // ParseKind resolves a kind's String() name back to its value; the

@@ -109,6 +109,27 @@ type Failover = core.Failover
 // docs/PLACEMENT.md for the protocol and policy guidance.
 type Placement = core.Placement
 
+// Replication configures consensus-replicated library records: each
+// segment's library mirrors every page-record mutation to the Replicas
+// sites after it in ID order before the mutation is acknowledged, so a
+// library-site crash is survived by electing a follower that installs
+// the record from its replicated log — no cluster-wide holder
+// interrogation, no reconstruction pause. Requires Options.Failover
+// (and therefore Reliability); when the follower quorum is lost the
+// takeover falls back to failover's holder rebuild. NewCluster fills in
+// the cluster size. See docs/REPLICATION.md.
+type Replication = core.Replication
+
+// Replication acknowledgement disciplines (Replication.SyncMode).
+const (
+	// SyncQuorum gates each mutation on a majority of the replication
+	// group, leader included — the default.
+	SyncQuorum = core.SyncQuorum
+	// SyncAll gates each mutation on every live follower, shrinking the
+	// election quorum to any single group member.
+	SyncAll = core.SyncAll
+)
+
 // FaultPlan is a deterministic, seeded fault-injection plan applied to
 // the cluster's transport fabric (drops, duplicates, delays, reorders,
 // partitions, crash windows). Build one with ParseFaultPlan or
@@ -215,6 +236,12 @@ type Options struct {
 	// itself to a site that dominates the request stream. Requires
 	// Failover. &Placement{} takes the defaults.
 	Placement *Placement
+	// Replication, when non-nil with Replicas > 0, replicates each
+	// segment's library record to follower sites ahead of every
+	// acknowledged mutation, making library takeover pauseless (the
+	// elected follower installs from its log instead of rebuilding from
+	// holders). Requires Failover. &Replication{Replicas: 2} is typical.
+	Replication *Replication
 	// Chaos, when non-nil, injects faults into the transport fabric per
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.
