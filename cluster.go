@@ -65,6 +65,16 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 				opts.Replication.Replicas, n)
 		}
 	}
+	if opts.AutoDelta != nil {
+		ad := opts.AutoDelta
+		if ad.Min < 0 || ad.Max < 0 || ad.Step < 0 || ad.CheapDenial < 0 ||
+			ad.Cooldown < 0 || ad.MinCycles < 0 {
+			return nil, fmt.Errorf("mirage: negative Options.AutoDelta field")
+		}
+		if ad.Max != 0 && ad.Max < ad.Min {
+			return nil, fmt.Errorf("mirage: Options.AutoDelta.Max %v below Min %v", ad.Max, ad.Min)
+		}
+	}
 	if opts.DebugAddr != "" && opts.Obs == nil {
 		return nil, fmt.Errorf("mirage: Options.DebugAddr requires Options.Obs")
 	}
@@ -86,6 +96,7 @@ func NewCluster(n int, opts Options) (*Cluster, error) {
 		Costs:       &core.Costs{}, // live nodes run at native speed
 		Reliability: opts.Reliability,
 		Placement:   opts.Placement,
+		AutoDelta:   opts.AutoDelta,
 		Obs:         opts.Obs,
 		InvalFanout: opts.InvalFanout,
 	}

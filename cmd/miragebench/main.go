@@ -62,6 +62,15 @@
 // each with placement off and on, and the shifting+on run is traced so
 // its voluntary handoffs — each an epoch bump mid-load — re-verify
 // through the coherence checker; -out records all four cells.
+//
+// E23 closes the Δ loop (Options.AutoDelta): on three workloads — the
+// E16 ping-pong worst case, an E19 service rung, and the E21 skewed
+// affinity scenario with migration on — a fixed-Δ grid runs beside one
+// controller cell seeded at a deliberately wrong Δ. The command fails
+// unless the controller matches the best fixed Δ within tolerance on
+// every workload, every traced controller run verifies clean at the
+// Delta = Min sound bound, and the sweep replays deterministically;
+// -out records the full grid.
 package main
 
 import (
@@ -104,6 +113,15 @@ type benchRecord struct {
 	Scale       *scaleRecord       `json:"scale,omitempty"`
 	Migration   *migrationRecord   `json:"migration,omitempty"`
 	Replication *replicationRecord `json:"replication,omitempty"`
+	AutoDelta   *autodeltaRecord   `json:"autodelta,omitempty"`
+}
+
+// autodeltaRecord is the E23 section of the -out record: per workload,
+// the fixed-Δ grid beside the controller cell and its verdicts, plus
+// the determinism check.
+type autodeltaRecord struct {
+	Workloads     []exp.AutoDeltaWorkload `json:"workloads"`
+	ReplayMatches bool                    `json:"replay_matches"`
 }
 
 // replicationRecord is the E22 section of the -out record: the
@@ -264,7 +282,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("miragebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	which := fs.String("e", "all", "comma-separated experiment ids (e1..e22) or 'all'")
+	which := fs.String("e", "all", "comma-separated experiment ids (e1..e23) or 'all'")
 	dur := fs.Duration("dur", 20*time.Second, "virtual run length per measurement point")
 	quick := fs.Bool("quick", false, "short runs for a smoke pass")
 	par := fs.Int("par", 0, "sweep worker pool size (0 = GOMAXPROCS); any value gives identical results")
@@ -784,6 +802,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ReplayMatches:   r.ReplayMatches,
 		}
 		fmt.Fprintln(stdout, "paper: the library site is fixed for a segment's lifetime — E21 lets it follow the demand and prices the win")
+	})
+
+	run("e23", "beyond the paper: closed-loop Δ tuning vs the best fixed Δ (E23)", func() {
+		cfg := exp.AutoDeltaConfig{}
+		if *quick {
+			cfg = exp.AutoDeltaConfig{
+				Ticks:       []int{0, 2, 6},
+				PingPongDur: 6 * time.Second,
+				ServiceDur:  2 * time.Second,
+				AffinityDur: 6 * time.Second,
+			}
+		}
+		r := exp.AutoDeltaSweep(cfg)
+		t := stats.NewTable("workload", "cell", "score", "denials", "grows", "shrinks", "p99", "migrations")
+		cell := func(wl string, p exp.AutoDeltaPoint) {
+			name := fmt.Sprintf("Δ=%d ticks", p.DeltaTicks)
+			if p.DeltaTicks < 0 {
+				name = fmt.Sprintf("auto (seed %d)", r.Config.SeedTicks)
+			}
+			p99 := "-"
+			if p.P99 > 0 {
+				p99 = p.P99.Round(10 * time.Microsecond).String()
+			}
+			t.Row(wl, name, fmt.Sprintf("%.1f", p.Score), p.Denials, p.Grows, p.Shrinks, p99, p.Migrations)
+		}
+		for _, wl := range r.Workloads {
+			for _, p := range wl.Fixed {
+				cell(wl.Workload, p)
+			}
+			cell(wl.Workload, wl.Auto)
+		}
+		t.WriteTo(stdout)
+		r.WriteFindings(stdout)
+		for _, wl := range r.Workloads {
+			if !wl.AutoMatchesBest || wl.Violations != 0 {
+				code = 1
+			}
+		}
+		if !r.ReplayMatches {
+			code = 1
+		}
+		rec.AutoDelta = &autodeltaRecord{Workloads: r.Workloads, ReplayMatches: r.ReplayMatches}
+		fmt.Fprintln(stdout, "paper: §8.0 \"a per-segment tuning routine exists but ships disabled\" — E23 turns the loop on per page and scores it against the offline optimum")
 	})
 
 	run("e22", "beyond the paper: consensus-replicated library records (E22)", func() {

@@ -115,6 +115,23 @@ func TestE19ServiceLadder(t *testing.T) {
 	}
 }
 
+func TestE23AutoDeltaCommand(t *testing.T) {
+	code, stdout, stderr := runBench(t, "-e", "e23", "-quick")
+	if code != 0 {
+		t.Fatalf("E23 failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"== E23 —", "[pingpong]", "[service]", "[affinity]",
+		"auto matches best fixed: HOLDS", "traced run clean: HOLDS",
+		"replay determinism: HOLDS"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "VIOLATED") {
+		t.Errorf("unexpected violated verdict:\n%s", stdout)
+	}
+}
+
 func TestOutRecord(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbench loopback TCP is slow")

@@ -29,6 +29,7 @@
 //	miragesim -workload readers -sites 4 -replicas 2 -chaos "crash site=0 from=2s" -check
 //	miragesim -workload service -sites 4 -rate 100 -skew zipf -dur 5s -metrics
 //	miragesim -workload affinity -sites 4 -rate 150 -dur 16s -migrate -check
+//	miragesim -workload pingpong -delta 100ms -autodelta -check
 //
 // -trace writes the run's protocol event timeline in the schema-v1
 // JSONL encoding (docs/OBSERVABILITY.md); analyze it with miragetrace
@@ -56,6 +57,13 @@
 // its log tail — no holder interrogation, no recovery pause. The flag
 // implies -failover; the append/commit/degraded/election counters join
 // the failover table.
+//
+// -autodelta turns on the per-page closed-loop Δ controller (DESIGN.md
+// §16, docs/TUNING.md) at production defaults: -delta becomes the seed
+// the controller walks away from, the per-site grow/shrink counters
+// are printed after the run, and -check verifies the trace with the
+// controller's Min as the window bound — the sound lower bound on
+// every clamped grant.
 //
 // -migrate additionally lets a library voluntarily rehome a segment to
 // the site that dominates its request demand (DESIGN.md §14,
@@ -122,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failover := fs.Bool("failover", false, "elect a successor library when the library site fail-stops (implies the ARQ layer)")
 	migrate := fs.Bool("migrate", false, "let libraries voluntarily rehome hot segments to their dominant requester (implies -failover)")
 	replicas := fs.Int("replicas", 0, "replicate library records to R follower sites for pauseless takeover (implies -failover)")
+	autodelta := fs.Bool("autodelta", false, "close the Δ loop: per-page controller at production defaults (-delta seeds it)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "override the plan's seed (0 keeps the plan's own)")
 	runs := fs.Int("runs", 1, "run the scenario N times in parallel and verify identical results")
 	checkRun := fs.Bool("check", false, "verify the run's trace against the coherence invariants; exit 1 on violation")
@@ -244,6 +253,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *replicas > 0 {
 			opts.Replication = &core.Replication{Replicas: *replicas}
+		}
+		if *autodelta {
+			opts.AutoDelta = &core.AutoDelta{}
 		}
 		if *migrate {
 			opts.Placement = &core.Placement{}
@@ -391,6 +403,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rt.WriteTo(stdout)
 	}
 
+	if *autodelta {
+		at := stats.NewTable("site", "Δ-grows", "Δ-shrinks")
+		for i := 0; i < c.Sites(); i++ {
+			es := c.Site(i).Eng.Stats()
+			at.Row(i, es.DeltaGrows, es.DeltaShrinks)
+		}
+		fmt.Fprintln(stdout)
+		at.WriteTo(stdout)
+	}
+
 	if h := c.FaultLatency; h.Count() > 0 {
 		fmt.Fprintf(stdout, "\nfault latency: %d faults, mean %v, p50 ≤%v, p99 ≤%v, max %v\n",
 			h.Count(), h.Mean().Round(100*time.Microsecond),
@@ -446,6 +468,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail("trace buffer dropped %d events; coherence check would be unsound (shorten -dur)", d)
 		}
 		cfg := check.Config{Sites: c.Sites(), Delta: *delta, Reliable: basePlan != nil}
+		if *autodelta {
+			// The controller retunes windows at runtime; the only sound
+			// static bound on every clamped grant is its configured Min.
+			cfg.Delta = core.AutoDelta{}.Min
+		}
 		viols := check.Verify(cfg, buf.Events())
 		if len(viols) == 0 {
 			fmt.Fprintf(stdout, "\ncoherence check: %d events, clean\n", buf.Len())

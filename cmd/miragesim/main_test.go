@@ -62,6 +62,26 @@ func TestCheckedPingPongWithWindow(t *testing.T) {
 	}
 }
 
+func TestAutoDeltaCheckedRun(t *testing.T) {
+	// A ping-pong run seeded at a deliberately large Δ: the controller
+	// must shrink it (the Δ-grows/Δ-shrinks table is non-trivial) and
+	// the retuned trace must verify clean at the Min bound.
+	code, stdout, stderr := runSim(t,
+		"-workload", "pingpong", "-delta", "100ms", "-dur", "3s",
+		"-autodelta", "-check")
+	if code != 0 {
+		t.Fatalf("autodelta run check failed: code %d\n%s%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"Δ-shrinks", "clean"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^0\s+\d+\s+[1-9]\d*$`).MatchString(stdout) {
+		t.Errorf("library site should report at least one Δ-shrink:\n%s", stdout)
+	}
+}
+
 func TestCheckedChaosRun(t *testing.T) {
 	code, stdout, stderr := runSim(t,
 		"-workload", "counters", "-delta", "120ms", "-dur", "2s",

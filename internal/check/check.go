@@ -82,9 +82,15 @@ type Config struct {
 	// are rejected. Zero skips the bound check.
 	Sites int `json:"sites"`
 	// Delta is the window granted with every page (Options.Delta /
-	// ipc.Config.Delta). Zero disables the early-revocation invariant;
-	// traces from runs with per-page or dynamically tuned Δs need it
-	// disabled too, since grants do not carry Δ in the trace.
+	// ipc.Config.Delta). Zero disables the early-revocation invariant.
+	// Grants do not carry Δ in the trace, so for runs with per-page or
+	// dynamically tuned Δs pass a LOWER BOUND on every granted window —
+	// AutoDelta runs pass AutoDelta.Min (the controller's clamp floor).
+	// The invariant is one-sided sound under any under-estimate: a
+	// revocation earlier than grant+bound is earlier than the true
+	// window too, so every violation reported is real; only violations
+	// inside [bound, trueΔ) go unreported. Hand-retuned runs
+	// (SetSegmentDelta mid-run) with no known floor still need 0.
 	Delta time.Duration `json:"delta"`
 	// Slack is the timestamp tolerance for the window invariant. Keep 0
 	// for virtual-clock traces; wall-clock traces may need a little for

@@ -116,6 +116,19 @@ type TuneInfo struct {
 	Write    bool          // the triggering request is a write
 	MeanGap  time.Duration // EWMA of the page's inter-request interval
 	Requests int           // requests seen for this page
+
+	// Denial-side signals (§7.2/E16: the denial histogram is what a
+	// tuner should steer by). Denied counts KBusy replies the library
+	// received for this page; DenialRemaining is an EWMA of the window
+	// time remaining when those denials arrived. Under PolicyQueue the
+	// clock site absorbs window waits locally, so both stay zero — the
+	// library is blind to denials it is never told about.
+	Denied          int
+	DenialRemaining time.Duration
+	// WriteSharing reports that recent write grants alternated between
+	// sites (ping-pong): at least half of the recent write grants went
+	// to a different site than the one before.
+	WriteSharing bool
 }
 
 // Options configure an Engine.
@@ -154,8 +167,14 @@ type Options struct {
 	Replication *Replication
 	// TuneDelta, if non-nil, may return a new Δ for a page each time
 	// the library is about to grant it. Mirage ships the routine
-	// disabled (nil), as the paper does.
+	// disabled (nil), as the paper does. Ignored when AutoDelta is set.
 	TuneDelta func(TuneInfo) time.Duration
+	// AutoDelta, when non-nil, enables the built-in per-page closed-loop
+	// Δ controller (DESIGN.md §16, docs/TUNING.md): the library watches
+	// each page's denial signals and write-sharing pattern and walks Δ
+	// toward the §7.2 crossover with an AIMD policy, clamped to
+	// [Min, Max] and rate-limited. Takes precedence over TuneDelta.
+	AutoDelta *AutoDelta
 	// InvalFanout, when ≥ 2, turns write-grant invalidation into a
 	// k-ary fan-out tree: the clock site partitions the reader set into
 	// at most InvalFanout delegated subtrees, interior holder sites
@@ -214,6 +233,10 @@ type Stats struct {
 	ReplCommits  int // entries acknowledged by a follower quorum
 	ReplDegraded int // gated mutations released without quorum (group degraded)
 	Elections    int // takeovers completed from the replicated log at this site
+
+	// AutoDelta counters; all zero unless Options.AutoDelta is set.
+	DeltaGrows   int // controller raised a page's Δ (additive step)
+	DeltaShrinks int // controller halved a page's Δ (multiplicative decrease)
 }
 
 type pageKey struct {
@@ -286,7 +309,8 @@ type Engine struct {
 	rel   *rel                      // nil unless Options.Reliability set
 	stash map[pageKey][]byte        // clock-side frames captured per grant cycle
 	stats Stats
-	obs   *obs.Obs // nil when observability is off
+	obs   *obs.Obs  // nil when observability is off
+	auto  AutoDelta // normalized AutoDelta config; valid iff opt.AutoDelta != nil
 }
 
 // New creates an engine for env's site.
@@ -311,6 +335,9 @@ func New(env Env, opt Options) *Engine {
 	}
 	if opt.Reliability != nil {
 		e.rel = newRel(e, *opt.Reliability)
+	}
+	if opt.AutoDelta != nil {
+		e.auto = opt.AutoDelta.withDefaults()
 	}
 	return e
 }

@@ -71,14 +71,26 @@ type recovPage struct {
 	readers mmu.Copyset
 	writer  int
 	clock   int // first reporter claiming the clock role, -1 if none
+	// window is the granted Δ reported by the most authoritative holder
+	// so far (winRank: 3 writer, 2 clock, 1 reader, 0 none). It lets
+	// the rebuild restore a tuned per-page Δ instead of clobbering it
+	// with the segment default.
+	window  time.Duration
+	winRank int
 }
 
-// Holdings-report record layout: 5 bytes per held page — the page
-// number and a state byte — packed into KRecoverReply.Data.
+// Holdings-report record layout: 13 bytes per held page — the page
+// number, a state byte, and the holder's granted window Δ — packed
+// into KRecoverReply.Data. The window is what lets a takeover restore
+// per-page tuned Δs: holders are the only survivors that know them
+// (every install carried the grant's Δ), and the replicated log is not
+// always on.
 const (
 	recRead  = 1 << 0 // site holds a read copy
 	recWrite = 1 << 1 // site holds the writable copy
 	recClock = 1 << 2 // site believes it has the clock role
+
+	holdingBytes = 4 + 1 + 8
 )
 
 // holdingsPerChunk keeps each KRecoverReply under wire.MaxData.
@@ -264,6 +276,12 @@ func (e *Engine) finishRecovery(sn *segNode) {
 	for pg := range lib.pages {
 		p := &lib.pages[pg]
 		rp := rc.got[int32(pg)]
+		if rp != nil && rp.winRank > 0 {
+			// A surviving holder reported the window its copy was granted
+			// with: that IS the page's tuned Δ, so the rebuild keeps it
+			// instead of clobbering it with the segment default.
+			p.delta = rp.window
+		}
 		switch {
 		case rp == nil:
 			// No surviving copy: the only data is wherever the dead
@@ -532,8 +550,9 @@ func (e *Engine) adoptAhead(sn *segNode, m *wire.Msg) {
 
 // holding is one decoded holdings-report record.
 type holding struct {
-	page  int32
-	state byte
+	page   int32
+	state  byte
+	window time.Duration // the granted Δ this copy was installed with
 }
 
 // localHoldings reports this site's present pages for the segment.
@@ -552,7 +571,7 @@ func (e *Engine) localHoldings(sn *segNode) []holding {
 				st |= recClock
 			}
 		}
-		hs = append(hs, holding{page: int32(p), state: st})
+		hs = append(hs, holding{page: int32(p), state: st, window: sn.m.Aux(p).Window})
 	}
 	return hs
 }
@@ -568,11 +587,12 @@ func (e *Engine) sendHoldings(sn *segNode) {
 		if last {
 			end = len(hs)
 		}
-		data := make([]byte, 0, (end-start)*5)
+		data := make([]byte, 0, (end-start)*holdingBytes)
 		for _, h := range hs[start:end] {
-			var b [5]byte
+			var b [holdingBytes]byte
 			binary.BigEndian.PutUint32(b[:4], uint32(h.page))
 			b[4] = h.state
+			binary.BigEndian.PutUint64(b[5:], uint64(h.window))
 			data = append(data, b[:]...)
 		}
 		e.send(sn.curLib, &wire.Msg{
@@ -588,14 +608,16 @@ func (e *Engine) sendHoldings(sn *segNode) {
 // out-of-range records rather than trusting the wire.
 func (e *Engine) decodeHoldings(sn *segNode, data []byte) []holding {
 	var hs []holding
-	for len(data) >= 5 {
+	for len(data) >= holdingBytes {
 		page := int32(binary.BigEndian.Uint32(data[:4]))
 		st := data[4]
-		data = data[5:]
-		if page < 0 || int(page) >= sn.m.Pages() || st&(recRead|recWrite) == 0 {
+		window := time.Duration(binary.BigEndian.Uint64(data[5:]))
+		data = data[holdingBytes:]
+		if page < 0 || int(page) >= sn.m.Pages() || st&(recRead|recWrite) == 0 ||
+			window < 0 {
 			continue
 		}
-		hs = append(hs, holding{page: page, state: st})
+		hs = append(hs, holding{page: page, state: st, window: window})
 	}
 	return hs
 }
@@ -608,13 +630,21 @@ func (e *Engine) mergeHoldings(rc *recovery, site int, hs []holding) {
 			rp = &recovPage{writer: mmu.NoWriter, clock: -1}
 			rc.got[h.page] = rp
 		}
+		rank := 1
 		if h.state&recWrite != 0 {
 			rp.writer = site
+			rank = 3
 		} else {
 			rp.readers = rp.readers.Add(site)
 		}
 		if h.state&recClock != 0 && rp.clock < 0 {
 			rp.clock = site
+		}
+		if h.state&recClock != 0 && rank < 2 {
+			rank = 2
+		}
+		if rank > rp.winRank {
+			rp.window, rp.winRank = h.window, rank
 		}
 	}
 }

@@ -66,6 +66,27 @@ type libPage struct {
 	requests int
 	lastReq  time.Duration
 	gapEWMA  time.Duration
+
+	// Denial-side tuning signals (DESIGN.md §16). denied counts KBusy
+	// replies for this page; denRemEWMA smooths the remaining window
+	// time those denials reported. flipEWMA tracks write-sharing in
+	// fixed point (flipScale per alternation; see libFinishCycle) and
+	// lastWriter is the previous write grantee it compares against.
+	// All of it ships in the migration record and, via the demand
+	// stats above, survives rehoming.
+	denied     int
+	denRemEWMA time.Duration
+	flipEWMA   int
+	lastWriter int
+
+	// AutoDelta controller state: tuned marks the first-grant clamp
+	// done; tuneAt/tuneCycle/tuneDenied snapshot the last adjustment
+	// for rate limiting (see autoTuneDelta). Deliberately not shipped
+	// on migration — the successor restarts its cooldown fresh.
+	tuned      bool
+	tuneAt     time.Duration
+	tuneCycle  uint32
+	tuneDenied int
 }
 
 // libSeg is the library-site state for one segment.
@@ -79,7 +100,12 @@ func newLibSeg(meta *mem.Segment) *libSeg {
 	for i := range l.pages {
 		l.pages[i].writer = mmu.NoWriter
 		l.pages[i].clock = meta.Library
+		// meta.Delta is the segment default: it seeds pages whose tuned
+		// value is unknown. Install paths that know better (migration
+		// records, the replicated log, holder-reported windows) overwrite
+		// it per page so a rebuild never clobbers a tuned Δ it can see.
 		l.pages[i].delta = meta.Delta
+		l.pages[i].lastWriter = mmu.NoWriter
 	}
 	return l
 }
@@ -92,6 +118,13 @@ type LibraryPageState struct {
 	Delta   time.Duration
 	Queued  int
 	Busy    bool
+
+	// Tuning signals (DESIGN.md §16).
+	Requests        int
+	MeanGap         time.Duration
+	Denied          int
+	DenialRemaining time.Duration
+	WriteSharing    bool
 }
 
 // LibraryState returns the library's view of a page. It panics when
@@ -105,6 +138,9 @@ func (e *Engine) LibraryState(seg, page int32) LibraryPageState {
 	return LibraryPageState{
 		Readers: p.readers, Writer: p.writer, Clock: p.clock,
 		Delta: p.delta, Queued: len(p.queue), Busy: p.busy,
+		Requests: p.requests, MeanGap: p.gapEWMA,
+		Denied: p.denied, DenialRemaining: p.denRemEWMA,
+		WriteSharing: p.flipEWMA >= flipScale/2,
 	}
 }
 
@@ -116,6 +152,11 @@ var ErrNegativeDelta = fmt.Errorf("core: negative Δ")
 // SetPageDelta changes one page's Δ at the library (§8.0: "per-page
 // Δs may be useful"). It takes effect on the next grant. Negative
 // values are rejected with ErrNegativeDelta, leaving Δ unchanged.
+//
+// The segment-wide meta.Delta is deliberately untouched: it is the
+// segment *default*, seeding pages whose tuned value is unknown — not
+// a summary of what pages are granted with. Per-page truth lives in
+// the page records (LibraryState reads it).
 func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) error {
 	if delta < 0 {
 		return fmt.Errorf("%w: %v for seg %d page %d", ErrNegativeDelta, delta, seg, page)
@@ -131,8 +172,10 @@ func (e *Engine) SetPageDelta(seg, page int32, delta time.Duration) error {
 	return nil
 }
 
-// SetSegmentDelta changes Δ for every page of the segment. Negative
-// values are rejected with ErrNegativeDelta, leaving Δ unchanged.
+// SetSegmentDelta changes Δ for every page of the segment and resets
+// the segment default (meta.Delta) that future rebuilds seed unknown
+// pages with. Negative values are rejected with ErrNegativeDelta,
+// leaving Δ unchanged.
 func (e *Engine) SetSegmentDelta(seg int32, delta time.Duration) error {
 	if delta < 0 {
 		return fmt.Errorf("%w: %v for seg %d", ErrNegativeDelta, delta, seg)
@@ -239,6 +282,16 @@ func (e *Engine) handleLibrary(sn *segNode, m *wire.Msg) {
 		}
 		e.stats.Retries++
 		e.stats.WindowWait += m.Remaining
+		// The library's only denial signal is this KBusy (PolicyQueue
+		// absorbs waits at the clock site and never sends one). Feed the
+		// per-page tuning record the clock site's global counters
+		// (delta_denials / denial_remaining_ns) already see.
+		p.denied++
+		if p.denRemEWMA == 0 {
+			p.denRemEWMA = m.Remaining
+		} else {
+			p.denRemEWMA = (3*p.denRemEWMA + m.Remaining) / 4
+		}
 		e.obs.Count(e.site, obs.CRetry)
 		e.emit(obs.Event{Type: obs.EvRetry, Seg: m.Seg, Page: m.Page, Cycle: m.Cycle,
 			Arg: int64(m.Remaining)})
@@ -329,18 +382,26 @@ func (e *Engine) libAlready(sn *segNode, page int32, site int, mode wire.Mode) {
 	e.send(site, &wire.Msg{Kind: wire.KAlready, Mode: mode, Seg: int32(sn.meta.ID), Page: page})
 }
 
-// libTunedDelta applies the dynamic tuner (if any) and returns the Δ
-// to grant with.
+// libTunedDelta applies the dynamic tuner (AutoDelta controller or the
+// TuneDelta hook) and returns the Δ to grant with. It runs at cycle
+// open, so the tuned value lands on this cycle's invalidation and in
+// its replicated post-record.
 func (e *Engine) libTunedDelta(sn *segNode, page int32, write bool) time.Duration {
 	p := &sn.lib.pages[page]
+	if e.opt.AutoDelta != nil {
+		return e.autoTuneDelta(sn, page)
+	}
 	if e.opt.TuneDelta != nil {
 		d := e.opt.TuneDelta(TuneInfo{
-			Seg:      int32(sn.meta.ID),
-			Page:     page,
-			Delta:    p.delta,
-			Write:    write,
-			MeanGap:  p.gapEWMA,
-			Requests: p.requests,
+			Seg:             int32(sn.meta.ID),
+			Page:            page,
+			Delta:           p.delta,
+			Write:           write,
+			MeanGap:         p.gapEWMA,
+			Requests:        p.requests,
+			Denied:          p.denied,
+			DenialRemaining: p.denRemEWMA,
+			WriteSharing:    p.flipEWMA >= flipScale/2,
 		})
 		// A negative return is a tuner bug; keep the previous Δ rather
 		// than grant a corrupt window.
@@ -425,6 +486,19 @@ func (e *Engine) libFinishCycle(sn *segNode, page int32) {
 		p.writer = g.to
 		p.readers = mmu.Copyset{}
 		p.clock = g.to
+		// Write-sharing indicator: fold whether this write grant changed
+		// hands into the fixed-point flip EWMA. Alternating writers
+		// (ping-pong) drive it toward flipScale; a stable writer decays
+		// it toward zero. Read grants don't fold in — read batching is
+		// already the protocol's answer to read sharing.
+		if p.lastWriter != mmu.NoWriter {
+			flip := 0
+			if g.to != p.lastWriter {
+				flip = flipScale
+			}
+			p.flipEWMA = (3*p.flipEWMA + flip) / 4
+		}
+		p.lastWriter = g.to
 	} else if g.oldWrite {
 		p.readers = mmu.CopysetOf(g.oldClock).Union(g.batch)
 		p.writer = mmu.NoWriter

@@ -1,0 +1,344 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mirage/internal/app"
+	"mirage/internal/check"
+	"mirage/internal/core"
+	"mirage/internal/ipc"
+	"mirage/internal/obs"
+	"mirage/internal/vaxmodel"
+)
+
+// ---------------------------------------------------------------------------
+// E23 — closing the Δ loop. E16 located the denial crossover offline by
+// sweeping fixed Δs; Options.AutoDelta is the online answer, a per-page
+// AIMD controller at the library (DESIGN.md §16). E23 asks the question
+// that justifies shipping it: started from a deliberately wrong Δ, does
+// the controller match the best hand-tuned fixed Δ — without being told
+// which one that is? Three workloads, in rising realism: the E16
+// ping-pong worst case (write-sharing; best fixed Δ is the floor), the
+// E19 service rung (mixed sharing under open-loop load), and the E21
+// skewed-affinity scenario with voluntary migration on, so tuned Δs
+// ride migration records in the measured path. Each workload runs a
+// fixed-Δ grid and one controller cell; the controller's traced runs
+// feed the coherence checker with Delta = AutoDelta.Min, the sound
+// lower bound on every clamped window.
+
+// AutoDeltaConfig parameterizes the E23 sweep.
+type AutoDeltaConfig struct {
+	// Ticks is the fixed-Δ grid in scheduling clock ticks (default
+	// {0, 1, 2, 6, 12} — the E16 shape: floor, sub-quantum, the quantum
+	// crossover at 6, and past it).
+	Ticks []int
+	// SeedTicks is the segment Δ the controller cell starts from
+	// (default 6 — one scheduling quantum, maximally wrong for the
+	// write-sharing workloads whose best fixed Δ is 0).
+	SeedTicks int
+	// PingPongDur is the ping-pong measurement window (default 5s).
+	PingPongDur time.Duration
+	// Warmup runs the ping-pong workload unmeasured before the window,
+	// so every cell is scored at steady state (default 2s — the
+	// controller converges from the quantum seed in about one second;
+	// fixed cells get the same protocol for fairness). The open-loop
+	// service/affinity workloads need none: their goodput scores
+	// integrate the whole offered window by construction.
+	Warmup time.Duration
+	// Rate is the service/affinity offered load in req/s (default 150,
+	// below the E19 knee so latency reflects page movement).
+	Rate float64
+	// ServiceDur is the service rung's offered window (default 3s).
+	ServiceDur time.Duration
+	// AffinityDur is the affinity scenario's offered window (default
+	// 10s; placement needs its demand windows and cooldown).
+	AffinityDur time.Duration
+	// Tolerance is the relative margin the controller must reach of the
+	// best fixed cell's score (default 0.05).
+	Tolerance float64
+}
+
+// WithDefaults returns the config with zero fields defaulted.
+func (c AutoDeltaConfig) WithDefaults() AutoDeltaConfig {
+	if len(c.Ticks) == 0 {
+		c.Ticks = []int{0, 1, 2, 6, 12}
+	}
+	if c.SeedTicks == 0 {
+		c.SeedTicks = 6
+	}
+	if c.PingPongDur == 0 {
+		c.PingPongDur = 5 * time.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.Rate == 0 {
+		c.Rate = 150
+	}
+	if c.ServiceDur == 0 {
+		c.ServiceDur = 3 * time.Second
+	}
+	if c.AffinityDur == 0 {
+		c.AffinityDur = 10 * time.Second
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.05
+	}
+	return c
+}
+
+// AutoDeltaPoint is one cell of a workload's grid: a fixed Δ, or the
+// controller (DeltaTicks -1).
+type AutoDeltaPoint struct {
+	// DeltaTicks is the fixed Δ in clock ticks; -1 marks the controller
+	// cell (seeded at AutoDeltaConfig.SeedTicks).
+	DeltaTicks int `json:"delta_ticks"`
+	// Score is the workload's figure of merit, higher better:
+	// cycles/sec for ping-pong, goodput req/s for service and affinity.
+	Score float64 `json:"score"`
+	// P99 is the request p99 latency (service and affinity cells).
+	P99 time.Duration `json:"p99,omitempty"`
+	// Denials sums KBusy replies across sites — how often a window
+	// turned a request away.
+	Denials int `json:"denials"`
+	// Grows and Shrinks sum the controller's adjustments across sites
+	// (zero in fixed cells).
+	Grows   int `json:"grows"`
+	Shrinks int `json:"shrinks"`
+	// Migrations sums accepted voluntary migrations (affinity cells).
+	Migrations int `json:"migrations,omitempty"`
+}
+
+// AutoDeltaWorkload is one workload's grid plus the controller verdict.
+type AutoDeltaWorkload struct {
+	// Workload is "pingpong", "service", or "affinity".
+	Workload string `json:"workload"`
+	// Fixed holds one point per AutoDeltaConfig.Ticks entry.
+	Fixed []AutoDeltaPoint `json:"fixed"`
+	// Auto is the controller cell.
+	Auto AutoDeltaPoint `json:"auto"`
+	// BestFixed indexes the highest-scoring fixed cell.
+	BestFixed int `json:"best_fixed"`
+	// AutoMatchesBest reports Auto.Score >= best fixed score scaled by
+	// (1 - Tolerance).
+	AutoMatchesBest bool `json:"auto_matches_best"`
+	// Retunes counts EvRetune events in the controller cell's trace.
+	Retunes int `json:"retunes"`
+	// Violations counts coherence-checker findings against the
+	// controller cell's trace, verified with Delta = AutoDelta.Min.
+	Violations int `json:"violations"`
+}
+
+// AutoDeltaSweepResult is the whole E23 run.
+type AutoDeltaSweepResult struct {
+	Config AutoDeltaConfig `json:"config"`
+	// Workloads holds pingpong, service, affinity in that order.
+	Workloads []AutoDeltaWorkload `json:"workloads"`
+	// ReplayMatches reports the determinism check: the affinity
+	// controller cell run twice (once traced, once not) scored
+	// identically.
+	ReplayMatches bool `json:"replay_matches"`
+}
+
+// autoDeltaEngine resolves one cell's engine options and segment Δ:
+// fixed cells pin Δ at ticks, the controller cell (ticks < 0) starts
+// from the deliberately wrong SeedTicks with the production-default
+// controller.
+func (c AutoDeltaConfig) autoDeltaEngine(ticks int, o *obs.Obs) (core.Options, time.Duration) {
+	eng := core.Options{Obs: o}
+	if ticks < 0 {
+		eng.AutoDelta = &core.AutoDelta{}
+		return eng, time.Duration(c.SeedTicks) * vaxmodel.ClockTick
+	}
+	return eng, time.Duration(ticks) * vaxmodel.ClockTick
+}
+
+// tallyEngine folds one site's engine counters into the point.
+func (p *AutoDeltaPoint) tallyEngine(st core.Stats) {
+	p.Denials += st.BusyReplies
+	p.Grows += st.DeltaGrows
+	p.Shrinks += st.DeltaShrinks
+	p.Migrations += st.Migrations
+}
+
+// pingPongCell runs the E16 worst case (yield variant) at one cell. The
+// workload runs for Warmup+PingPongDur but only cycles completed after
+// the warmup count, so the controller cell is scored on its converged Δ
+// rather than its transient — and every fixed cell is scored over the
+// identical window.
+func (c AutoDeltaConfig) pingPongCell(ticks int, o *obs.Obs) AutoDeltaPoint {
+	eng, delta := c.autoDeltaEngine(ticks, o)
+	cl := ipc.NewCluster(2, ipc.Config{Delta: delta, Engine: eng})
+	st := runPingPong(cl, 0, 1, PingPongConfig{UseYield: true}, 512, c.Warmup+c.PingPongDur)
+	warm := 0
+	cl.Site(0).Spawn("warmup-mark", 0, func(p *ipc.Proc) {
+		p.Sleep(c.Warmup)
+		warm = st.cycles
+	})
+	cl.Run()
+	p := AutoDeltaPoint{DeltaTicks: ticks, Score: float64(st.cycles-warm) / c.PingPongDur.Seconds()}
+	for i := 0; i < cl.Sites(); i++ {
+		p.tallyEngine(cl.Site(i).Eng.Stats())
+	}
+	return p
+}
+
+// serviceCell runs one E19 rung at one cell.
+func (c AutoDeltaConfig) serviceCell(ticks int, o *obs.Obs) AutoDeltaPoint {
+	scfg := ServiceConfig{Duration: c.ServiceDur, Rates: []float64{c.Rate}}.WithDefaults()
+	eng, delta := c.autoDeltaEngine(ticks, o)
+	cl := ipc.NewCluster(scfg.Sites, ipc.Config{Delta: delta, Engine: eng})
+	rung := RunService(cl, scfg, c.Rate, app.NewStats(scfg.Shards), nil)
+	p := AutoDeltaPoint{DeltaTicks: ticks, Score: rung.Goodput, P99: time.Duration(rung.Latency.P99)}
+	for i := 0; i < cl.Sites(); i++ {
+		p.tallyEngine(cl.Site(i).Eng.Stats())
+	}
+	return p
+}
+
+// affinityCell runs the E21 skewed scenario with placement on at one
+// cell: every site's demand favors shards homed one site over, so the
+// measured path includes voluntary migrations — and, in the controller
+// cell, tuned Δs shipping in the migration records.
+func (c AutoDeltaConfig) affinityCell(ticks int, o *obs.Obs) AutoDeltaPoint {
+	mcfg := MigrationConfig{Rate: c.Rate, Duration: c.AffinityDur}.WithDefaults()
+	eng, delta := c.autoDeltaEngine(ticks, o)
+	eng.Reliability = failoverRel()
+	eng.Failover = &core.Failover{}
+	eng.Placement = mcfg.Policy()
+	cl := ipc.NewCluster(mcfg.Sites, ipc.Config{Delta: delta, Engine: eng})
+	rung := RunAffinity(cl, mcfg, false, app.NewStats(mcfg.Shards), nil)
+	p := AutoDeltaPoint{DeltaTicks: ticks, Score: rung.Goodput, P99: time.Duration(rung.Latency.P99)}
+	for i := 0; i < cl.Sites(); i++ {
+		p.tallyEngine(cl.Site(i).Eng.Stats())
+	}
+	return p
+}
+
+// autoDeltaCell dispatches one workload×cell run.
+func (c AutoDeltaConfig) autoDeltaCell(workload string, ticks int, o *obs.Obs) AutoDeltaPoint {
+	switch workload {
+	case "pingpong":
+		return c.pingPongCell(ticks, o)
+	case "service":
+		return c.serviceCell(ticks, o)
+	default:
+		return c.affinityCell(ticks, o)
+	}
+}
+
+// autoDeltaSites returns the cluster size a workload's trace was
+// recorded with, for the checker config.
+func (c AutoDeltaConfig) autoDeltaSites(workload string) int {
+	switch workload {
+	case "pingpong":
+		return 2
+	case "service":
+		return ServiceConfig{}.WithDefaults().Sites
+	default:
+		return MigrationConfig{}.WithDefaults().Sites
+	}
+}
+
+// AutoDeltaSweep runs the E23 grid: per workload, every fixed-Δ cell
+// plus a traced controller cell, all on private deterministic clusters
+// fanned across the worker pool, plus a determinism re-run of the
+// affinity controller cell. The controller traces are verified in
+// process with Delta = AutoDelta.Min (zero at the production default,
+// which disables only the window invariant; the single-writer,
+// serialization, and data-oracle invariants still apply).
+func AutoDeltaSweep(cfg AutoDeltaConfig) AutoDeltaSweepResult {
+	cfg = cfg.WithDefaults()
+	workloads := []string{"pingpong", "service", "affinity"}
+	r := AutoDeltaSweepResult{Config: cfg}
+	r.Workloads = make([]AutoDeltaWorkload, len(workloads))
+	nt := len(cfg.Ticks)
+	perWL := nt + 1 // fixed grid + traced controller cell
+	traces := make([][]obs.Event, len(workloads))
+	var replay AutoDeltaPoint
+	for w := range r.Workloads {
+		r.Workloads[w] = AutoDeltaWorkload{Workload: workloads[w], Fixed: make([]AutoDeltaPoint, nt)}
+	}
+	sweepTasks(len(workloads)*perWL+1, func(i int) {
+		if i == len(workloads)*perWL {
+			// Determinism arm: the affinity controller cell again,
+			// untraced; compared against the traced grid cell below.
+			replay = cfg.autoDeltaCell("affinity", -1, nil)
+			return
+		}
+		w, k := i/perWL, i%perWL
+		wl := workloads[w]
+		if k < nt {
+			r.Workloads[w].Fixed[k] = cfg.autoDeltaCell(wl, cfg.Ticks[k], nil)
+			return
+		}
+		o := obs.New()
+		r.Workloads[w].Auto = cfg.autoDeltaCell(wl, -1, o)
+		traces[w] = o.Buffer().Events()
+	})
+	auto := core.AutoDelta{} // production defaults; Min is the checker bound
+	for w := range r.Workloads {
+		wl := &r.Workloads[w]
+		best := 0
+		for i, p := range wl.Fixed {
+			if p.Score > wl.Fixed[best].Score {
+				best = i
+			}
+		}
+		wl.BestFixed = best
+		wl.AutoMatchesBest = wl.Auto.Score >= wl.Fixed[best].Score*(1-cfg.Tolerance)
+		for _, ev := range traces[w] {
+			if ev.Type == obs.EvRetune {
+				wl.Retunes++
+			}
+		}
+		wl.Violations = len(check.Verify(check.Config{
+			Sites:    cfg.autoDeltaSites(wl.Workload),
+			Delta:    auto.Min,
+			Reliable: wl.Workload == "affinity", // the affinity cells run the reliability layer
+		}, traces[w]))
+	}
+	r.ReplayMatches = r.Workloads[2].Auto == replay
+	return r
+}
+
+// WriteFindings renders the FINDINGS-style verdict: per workload, the
+// fixed grid, the controller cell, and whether it matched the best
+// fixed Δ; plus the trace and determinism checks.
+func (r AutoDeltaSweepResult) WriteFindings(w io.Writer) {
+	cfg := r.Config.WithDefaults()
+	fmt.Fprintf(w, "E23 — closed-loop Δ tuning (seed Δ %d ticks, grid %v, tolerance %.0f%%)\n",
+		cfg.SeedTicks, cfg.Ticks, cfg.Tolerance*100)
+	fmt.Fprintf(w, "Hypothesis: started from a deliberately wrong Δ, Options.AutoDelta matches the\n")
+	fmt.Fprintf(w, "best fixed Δ on every workload (within tolerance), with every traced run clean\n")
+	fmt.Fprintf(w, "under the coherence checker at the Delta = Min sound bound.\n")
+	for _, wl := range r.Workloads {
+		fmt.Fprintf(w, "[%s]\n", wl.Workload)
+		for _, p := range wl.Fixed {
+			fmt.Fprintf(w, "  Δ=%2d ticks: score %8.1f  denials %6d", p.DeltaTicks, p.Score, p.Denials)
+			if p.P99 > 0 {
+				fmt.Fprintf(w, "  p99 %v", p.P99)
+			}
+			if p.Migrations > 0 {
+				fmt.Fprintf(w, "  migrations %d", p.Migrations)
+			}
+			fmt.Fprintln(w)
+		}
+		best := wl.Fixed[wl.BestFixed]
+		fmt.Fprintf(w, "  auto (seed %d): score %8.1f  denials %6d  %d grows / %d shrinks / %d retunes",
+			cfg.SeedTicks, wl.Auto.Score, wl.Auto.Denials, wl.Auto.Grows, wl.Auto.Shrinks, wl.Retunes)
+		if wl.Auto.P99 > 0 {
+			fmt.Fprintf(w, "  p99 %v", wl.Auto.P99)
+		}
+		if wl.Auto.Migrations > 0 {
+			fmt.Fprintf(w, "  migrations %d", wl.Auto.Migrations)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  best fixed: Δ=%d ticks (score %.1f)\n", best.DeltaTicks, best.Score)
+		fmt.Fprintf(w, "  auto matches best fixed: %s\n", verdict(wl.AutoMatchesBest))
+		fmt.Fprintf(w, "  traced run clean: %s (%d violations)\n", verdict(wl.Violations == 0), wl.Violations)
+	}
+	fmt.Fprintf(w, "replay determinism: %v\n", verdict(r.ReplayMatches))
+}

@@ -76,6 +76,9 @@ const (
 	CReplCommit
 	CReplDegraded
 	CElect
+	// AutoDelta controller: per-page closed-loop Δ adjustments.
+	CDeltaGrow
+	CDeltaShrink
 
 	counterCount
 )
@@ -128,6 +131,8 @@ var counterNames = [...]string{
 	CReplCommit:       "repl_commits",
 	CReplDegraded:     "repl_degraded",
 	CElect:            "elections",
+	CDeltaGrow:        "delta_grow",
+	CDeltaShrink:      "delta_shrink",
 }
 
 func (c Counter) String() string {
@@ -203,6 +208,10 @@ const (
 	// intent to its quorum commit — the synchronous overhead replication
 	// adds to each gated mutation.
 	HReplLag
+	// HTunedDelta: the Δ (ns) a page was left at after each AutoDelta
+	// controller adjustment — the distribution of where the closed loop
+	// settles.
+	HTunedDelta
 
 	histCount
 )
@@ -216,6 +225,7 @@ var histNames = [...]string{
 	HAppOpLatency:    "app_op_latency_ns",
 	HMigrateLatency:  "migrate_latency_ns",
 	HReplLag:         "repl_lag_ns",
+	HTunedDelta:      "tuned_delta_ns",
 }
 
 func (h HistID) String() string {
@@ -240,6 +250,7 @@ var histLow = [histCount]int64{
 	HAppOpLatency:    int64(time.Microsecond),
 	HMigrateLatency:  int64(time.Millisecond),
 	HReplLag:         int64(time.Microsecond),
+	HTunedDelta:      int64(time.Millisecond),
 }
 
 // NewHist returns a standalone histogram whose lowest bucket bound is

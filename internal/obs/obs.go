@@ -121,6 +121,10 @@ const (
 	// field is the new library epoch, From the dead leader, Cycle the
 	// merged log's epoch (term), Arg the merged tail index.
 	EvElect
+	// EvRetune is the AutoDelta controller adjusting a page's Δ at the
+	// library: Arg is the new Δ in nanoseconds, Cycle the grant cycle
+	// the adjustment landed on. Emitted only when Δ actually changed.
+	EvRetune
 
 	evTypeCount
 )
@@ -157,6 +161,7 @@ var evNames = [...]string{
 	EvMigrate:     "migrate",
 	EvReplicate:   "replicate",
 	EvElect:       "elect",
+	EvRetune:      "retune",
 }
 
 func (t EvType) String() string {

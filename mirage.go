@@ -120,6 +120,19 @@ type Placement = core.Placement
 // the cluster size. See docs/REPLICATION.md.
 type Replication = core.Replication
 
+// AutoDelta configures the built-in per-page closed-loop Δ controller:
+// the library watches each page's denial signals (count and
+// remaining-window EWMA of KBusy replies) and its write-sharing
+// pattern, and walks Δ with an AIMD policy — additive growth while
+// denials are cheap and the writer is stable, multiplicative shrink
+// when denial cost or write-sharing spikes — clamped to [Min, Max] and
+// rate-limited per page. The zero value takes the defaults documented
+// on core.AutoDelta. Tuned values survive role movement: they ship in
+// migration records, replicate through the record log, and are
+// restored from holder-reported windows on failover. See DESIGN.md §16
+// and docs/TUNING.md.
+type AutoDelta = core.AutoDelta
+
 // Replication acknowledgement disciplines (Replication.SyncMode).
 const (
 	// SyncQuorum gates each mutation on a majority of the replication
@@ -206,7 +219,8 @@ type Options struct {
 	// Delta is the default time window granted with each page. Zero
 	// means pages may be invalidated as soon as a competing request is
 	// processed; negative is rejected by NewCluster. Per-page windows
-	// can be changed later with Site.SetSegmentDelta.
+	// can be changed later with Site.SetSegmentDelta, or tuned online
+	// by AutoDelta.
 	Delta time.Duration
 	// MaxSegmentBytes bounds segment size; default 16 MiB.
 	MaxSegmentBytes int
@@ -242,6 +256,14 @@ type Options struct {
 	// elected follower installs from its log instead of rebuilding from
 	// holders). Requires Failover. &Replication{Replicas: 2} is typical.
 	Replication *Replication
+	// AutoDelta, when non-nil, lets each segment's library tune every
+	// page's Δ online instead of granting the fixed Options.Delta: the
+	// closed loop starts from Delta (clamped into the controller's
+	// band) and walks it per observed sharing pattern. &AutoDelta{}
+	// takes the defaults. When verifying traced AutoDelta runs, pass
+	// AutoDelta.Min as the checker's Delta — the sound lower bound on
+	// every granted window.
+	AutoDelta *AutoDelta
 	// Chaos, when non-nil, injects faults into the transport fabric per
 	// the plan. Requires Reliability: the lossless-fabric engine has no
 	// recovery paths for a lossy mesh.

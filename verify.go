@@ -41,10 +41,15 @@ const liveCheckSlack = 25 * time.Millisecond
 // reliability) derived from the cluster's options. It is valid while
 // the cluster is running or after Close.
 //
-// Caveat: the derived config assumes the uniform Options.Delta; if the
-// run retuned windows with SetSegmentDelta, verify with an explicit
-// config (Delta 0 disables the window invariant) via the package-level
-// VerifyTrace instead.
+// With Options.AutoDelta set, the derived config uses AutoDelta.Min as
+// the window bound: every granted window is clamped to at least Min,
+// so Min is a sound one-sided bound — any violation it reports is real
+// (Min 0 disables the window invariant, as usual).
+//
+// Caveat: the derived config otherwise assumes the uniform
+// Options.Delta; if the run retuned windows with SetSegmentDelta,
+// verify with an explicit config (Delta 0 disables the window
+// invariant) via the package-level VerifyTrace instead.
 func (c *Cluster) VerifyTrace() ([]Violation, error) {
 	if c.opts.Obs == nil {
 		return nil, fmt.Errorf("mirage: VerifyTrace requires Options.Obs")
@@ -56,9 +61,13 @@ func (c *Cluster) VerifyTrace() ([]Violation, error) {
 	if buf.Dropped() > 0 {
 		return nil, fmt.Errorf("mirage: trace buffer dropped %d events; verification would be unsound", buf.Dropped())
 	}
+	delta := c.opts.Delta
+	if c.opts.AutoDelta != nil {
+		delta = c.opts.AutoDelta.Min
+	}
 	cfg := CheckConfig{
 		Sites:    len(c.sites),
-		Delta:    c.opts.Delta,
+		Delta:    delta,
 		Slack:    liveCheckSlack,
 		Reliable: c.opts.Reliability != nil,
 	}
